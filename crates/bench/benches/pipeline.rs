@@ -1,0 +1,79 @@
+//! Criterion benches: one per pipeline stage plus end-to-end problems,
+//! backing the timing claims in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcln::data::{collect_loop_states, Dataset};
+use gcln::model::{train_equality_gcln, GclnConfig};
+use gcln::pipeline::{infer_invariants, PipelineConfig};
+use gcln::terms::{growth_filter, TermSpace};
+use gcln_lang::interp::{run_program, RunConfig};
+use gcln_numeric::groebner::{groebner_basis, GroebnerLimits};
+use gcln_numeric::Poly;
+use gcln_problems::nla::nla_problem;
+
+fn bench_trace_collection(c: &mut Criterion) {
+    let problem = nla_problem("sqrt1").unwrap();
+    c.bench_function("trace_collection_sqrt1", |b| {
+        b.iter(|| {
+            let run = run_program(&problem.program, &[60i128], &RunConfig::default());
+            assert!(!run.trace.is_empty());
+        })
+    });
+}
+
+fn bench_training_epochs(c: &mut Criterion) {
+    let problem = nla_problem("ps2").unwrap();
+    let points = collect_loop_states(&problem, 0, 40, 1);
+    let space = TermSpace::enumerate(problem.extended_names(), 2);
+    let keep = growth_filter(&space, &points, 1e10);
+    let space = space.select(&keep);
+    let ds = Dataset::from_points(points, &space, Some(10.0));
+    let columns = ds.columns();
+    c.bench_function("gcln_training_100_epochs_ps2", |b| {
+        b.iter(|| {
+            let cfg = GclnConfig { max_epochs: 100, ..GclnConfig::default() };
+            train_equality_gcln(&columns, &cfg)
+        })
+    });
+}
+
+fn bench_groebner(c: &mut Criterion) {
+    // cohencu's consecution system.
+    let n = Poly::var(0, 4);
+    let x = Poly::var(1, 4);
+    let y = Poly::var(2, 4);
+    let z = Poly::var(3, 4);
+    let c1 = &x - &(&(&n * &n) * &n);
+    let c2 =
+        &(&y - &(&n * &n).scale(3.into())) - &(&n.scale(3.into()) + &Poly::constant(1.into(), 4));
+    let c3 = &(&z - &n.scale(6.into())) - &Poly::constant(6.into(), 4);
+    let gens = vec![c1, c2, c3];
+    c.bench_function("groebner_basis_cohencu", |b| {
+        b.iter(|| groebner_basis(&gens, GroebnerLimits::default()).unwrap())
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let problem = nla_problem("ps2").unwrap();
+    let config = PipelineConfig {
+        gcln: GclnConfig { max_epochs: 600, ..GclnConfig::default() },
+        max_attempts: 1,
+        cegis_rounds: 1,
+        ..PipelineConfig::default()
+    };
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("infer_ps2_end_to_end", |b| {
+        b.iter(|| infer_invariants(&problem, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_collection,
+    bench_training_epochs,
+    bench_groebner,
+    bench_end_to_end
+);
+criterion_main!(benches);

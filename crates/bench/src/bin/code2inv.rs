@@ -1,0 +1,50 @@
+//! Regenerates the **§6.4 linear benchmark** experiment: the G-CLN
+//! pipeline over the 124-problem linear (Code2Inv-shape) suite. The paper
+//! solves all 124 in under 30 s each.
+//!
+//! Usage: `code2inv [--limit N]`
+
+use gcln::pipeline::{infer_invariants, PipelineConfig};
+use gcln_bench::{secs, solve_status};
+use gcln_problems::linear::linear_suite;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let limit = args
+        .iter()
+        .position(|a| a == "--limit")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX);
+    let config = PipelineConfig {
+        gcln: gcln::GclnConfig { max_epochs: 1000, ..gcln::GclnConfig::default() },
+        max_attempts: 2,
+        ..PipelineConfig::default()
+    };
+    println!("Linear (Code2Inv-shape) suite: {} problems", linear_suite().len().min(limit));
+    let mut solved = 0;
+    let mut attempted = 0;
+    let mut max_time = 0.0f64;
+    let mut total = 0.0f64;
+    for problem in linear_suite().into_iter().take(limit) {
+        attempted += 1;
+        let start = Instant::now();
+        let outcome = infer_invariants(&problem, &config);
+        let t = start.elapsed();
+        total += t.as_secs_f64();
+        max_time = max_time.max(t.as_secs_f64());
+        match solve_status(&problem, &outcome) {
+            Ok(()) => {
+                solved += 1;
+                println!("{:<14} solved  {:>6}s", problem.name, secs(t));
+            }
+            Err(e) => println!("{:<14} FAILED  {:>6}s  {:?}", problem.name, secs(t), e),
+        }
+    }
+    println!(
+        "solved {solved}/{attempted}; avg {:.1}s, max {:.1}s (paper: 124/124, < 30s each)",
+        total / attempted.max(1) as f64,
+        max_time
+    );
+}

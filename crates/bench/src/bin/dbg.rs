@@ -1,0 +1,14 @@
+//! Ad-hoc inspection of a single problem's pipeline outcome.
+use gcln::pipeline::{infer_invariants, PipelineConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "divbin".into());
+    let problem = gcln_problems::find_problem(&name).expect("problem");
+    let outcome = infer_invariants(&problem, &PipelineConfig::default());
+    let names = problem.extended_names();
+    println!("valid: {}  cegis: {}", outcome.valid, outcome.cegis_rounds_used);
+    for li in &outcome.loops {
+        println!("loop {}: {}", li.loop_id, li.formula.display(&names));
+    }
+    println!("status: {:?}", gcln_bench::solve_status(&problem, &outcome));
+}

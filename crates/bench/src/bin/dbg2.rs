@@ -1,0 +1,19 @@
+//! Ad-hoc: inspect learn_bounds output for a problem's loop-0 data.
+use gcln::bounds::{learn_bounds, BoundsConfig};
+use gcln::data::{collect_loop_states, Dataset};
+use gcln::terms::{growth_filter, TermSpace};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "lin-acc-05".into());
+    let problem = gcln_problems::find_problem(&name).expect("problem");
+    let points = collect_loop_states(&problem, 0, 120, 2);
+    let space = TermSpace::enumerate(problem.extended_names(), problem.max_degree);
+    let keep = growth_filter(&space, &points, 1e10);
+    let space = space.select(&keep);
+    println!("terms: {:?}", (0..space.len()).map(|i| space.term_name(i)).collect::<Vec<_>>());
+    let ds = Dataset::from_points(points.clone(), &space, Some(10.0));
+    let bounds = learn_bounds(&space, &points, &ds.columns(), &BoundsConfig::default());
+    for b in &bounds {
+        println!("{}", b.display(&problem.extended_names()));
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerates the **Figure 1** data series: (a) the cube loop's variable
+//! trajectories (x cubic, y quadratic, z linear); (b) the sqrt loop's
+//! tight vs loose inequality bounds.
+//!
+//! Usage: `fig1 [cube|sqrt]`
+
+use gcln_lang::interp::{run_program, RunConfig};
+use gcln_problems::nla::nla_problem;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "cube".into());
+    match which.as_str() {
+        "cube" => {
+            let p = nla_problem("cohencu").unwrap();
+            let run = run_program(&p.program, &[15i128], &RunConfig::default());
+            println!("{:>4} {:>8} {:>8} {:>8}", "n", "x", "y", "z");
+            let idx = |v: &str| p.program.var_id(v).unwrap();
+            for s in &run.trace {
+                println!(
+                    "{:>4} {:>8} {:>8} {:>8}",
+                    s.state[idx("n")],
+                    s.state[idx("x")],
+                    s.state[idx("y")],
+                    s.state[idx("z")]
+                );
+            }
+        }
+        "sqrt" => {
+            let p = nla_problem("sqrt1").unwrap();
+            println!("{:>5} {:>5} {:>12} {:>12} {:>12}", "n", "a", "tight", "loose1", "loose2");
+            for n in (0..=300i128).step_by(20) {
+                let run = run_program(&p.program, &[n], &RunConfig::default());
+                let a = run.env[p.program.var_id("a").unwrap()];
+                // tight: a <= sqrt(n); loose: a <= n/16 + 4, a <= n/10 + 6.
+                println!(
+                    "{:>5} {:>5} {:>12.2} {:>12.2} {:>12.2}",
+                    n,
+                    a,
+                    (n as f64).sqrt(),
+                    n as f64 / 16.0 + 4.0,
+                    n as f64 / 10.0 + 6.0
+                );
+            }
+        }
+        other => eprintln!("unknown figure: {other} (use cube|sqrt)"),
+    }
+}

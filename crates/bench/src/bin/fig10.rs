@@ -1,0 +1,35 @@
+//! Regenerates **Figure 10**: learned 2-D inequality bounds, tight
+//! (kept, high PBQU activation) vs loose (discarded, low activation) on
+//! the sqrt data.
+
+use gcln::bounds::{learn_bounds, BoundsConfig};
+use gcln::data::Dataset;
+use gcln::terms::TermSpace;
+use gcln_logic::relax::pbqu_ge;
+
+fn main() {
+    let names: Vec<String> = ["n", "a"].iter().map(|s| s.to_string()).collect();
+    let space = TermSpace::enumerate(names.clone(), 2);
+    let points: Vec<Vec<f64>> = (0..60)
+        .map(|n| vec![n as f64, (n as f64).sqrt().floor()])
+        .collect();
+    let ds = Dataset::from_points(points.clone(), &space, Some(10.0));
+    let bounds = learn_bounds(&space, &points, &ds.columns(), &BoundsConfig::default());
+    println!("kept bounds (tight fits):");
+    for b in &bounds {
+        let score: f64 = points
+            .iter()
+            .map(|p| pbqu_ge(b.poly.eval_f64(p), 1.0, 50.0))
+            .sum::<f64>()
+            / points.len() as f64;
+        println!("  {:<28} activation {:.3}", b.display(&names).to_string(), score);
+    }
+    // A deliberately loose bound for contrast (Fig. 10's dashed lines).
+    let loose = gcln_logic::parse_poly("n - a^2 + 40", &names).unwrap();
+    let score: f64 = points
+        .iter()
+        .map(|p| pbqu_ge(loose.eval_f64(p), 1.0, 50.0))
+        .sum::<f64>()
+        / points.len() as f64;
+    println!("loose contrast: {:<20} activation {:.3} (discarded)", "n - a^2 + 40 >= 0", score);
+}

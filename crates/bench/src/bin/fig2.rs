@@ -1,0 +1,20 @@
+//! Regenerates **Figure 2**: the continuous truth value of
+//! F(x) = (x = 1) ∨ (x ≥ 5) ∨ (x ≥ 2 ∧ x ≤ 3) under the CLN relaxation,
+//! sampled over x ∈ [0, 6].
+
+use gcln_logic::relax::{relax_formula, RelaxKind};
+use gcln_logic::{parse_formula, TNorm};
+
+fn main() {
+    let names = vec!["x".to_string()];
+    let f = parse_formula("x == 1 || x >= 5 || (x >= 2 && x <= 3)", &names).unwrap();
+    let kind = RelaxKind::Sigmoid { b: 20.0, eps: 0.01, sigma: 0.15 };
+    println!("{:>6} {:>10} {:>6}", "x", "S(F)(x)", "F(x)");
+    let mut x = 0.0;
+    while x <= 6.0 + 1e-9 {
+        let s = relax_formula(&f, &[x], kind, TNorm::Product);
+        let b = f.eval_f64(&[x], 1e-9);
+        println!("{:>6.2} {:>10.4} {:>6}", x, s, b);
+        x += 0.25;
+    }
+}

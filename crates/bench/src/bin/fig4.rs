@@ -1,0 +1,36 @@
+//! Regenerates **Figure 4b** and **Table 1**: the sqrt trace expanded to
+//! degree-2 monomials, raw and L2-normalized to norm 10 (§5.1.1).
+
+use gcln::data::normalize_row;
+use gcln::terms::TermSpace;
+use gcln_lang::interp::{run_program, RunConfig};
+use gcln_problems::nla::nla_problem;
+
+fn main() {
+    let p = nla_problem("sqrt1").unwrap();
+    let run = run_program(&p.program, &[12i128], &RunConfig::default());
+    let names: Vec<String> = ["a", "s", "t"].iter().map(|s| s.to_string()).collect();
+    let space = TermSpace::enumerate(names.clone(), 2);
+    let header: Vec<String> = (0..space.len()).map(|i| space.term_name(i)).collect();
+    println!("Figure 4b: raw monomial expansion (inputs n = 12)");
+    println!("{}", header.join("\t"));
+    let idx = |v: &str| p.program.var_id(v).unwrap();
+    let mut rows = Vec::new();
+    for s in &run.trace {
+        let point = vec![
+            s.state[idx("a")] as f64,
+            s.state[idx("s")] as f64,
+            s.state[idx("t")] as f64,
+        ];
+        rows.push(space.row(&point));
+    }
+    for r in &rows {
+        println!("{}", r.iter().map(|v| format!("{v:.0}")).collect::<Vec<_>>().join("\t"));
+    }
+    println!("\nTable 1: after row normalization to L2 norm 10");
+    for r in &rows {
+        let mut n = r.clone();
+        normalize_row(&mut n, 10.0);
+        println!("{}", n.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join("\t"));
+    }
+}

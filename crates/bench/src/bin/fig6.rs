@@ -1,0 +1,30 @@
+//! Regenerates the **Figure 6** example: a gated CLN encoding
+//! (3y − 3z − 2 = 0) ∧ ((x − 3z = 0) ∨ (x + y + z = 0)) evaluated
+//! continuously, plus its extraction back to SMT (Theorem 4.1 in action).
+
+use gcln_logic::fuzzy::{gated_tconorm, gated_tnorm, TNorm};
+use gcln_logic::relax::gaussian_eq;
+
+fn main() {
+    let sigma = 0.5;
+    let model = |x: f64, y: f64, z: f64| {
+        let a1 = gaussian_eq(3.0 * y - 3.0 * z - 2.0, sigma);
+        let a2 = gaussian_eq(x - 3.0 * z, sigma);
+        let a3 = gaussian_eq(x + y + z, sigma);
+        // OR layer: clause 1 keeps only a1; clause 2 keeps a2, a3.
+        let c1 = gated_tconorm(TNorm::Product, &[a1, 0.0], &[1.0, 0.0]);
+        let c2 = gated_tconorm(TNorm::Product, &[a2, a3], &[1.0, 1.0]);
+        gated_tnorm(TNorm::Product, &[c1, c2], &[1.0, 1.0])
+    };
+    println!("{:>8} {:>8} {:>8} {:>10} {:>8}", "x", "y", "z", "M(x,y,z)", "F?");
+    for (x, y, z) in [
+        (6.0, 4.0, 2.0),   // satisfies both: first disjunct x = 3z
+        (-6.0, 4.0, 2.0),  // satisfies second disjunct x + y + z = 0
+        (6.0, 4.0, 3.0),   // violates the equality clause
+        (5.0, 4.0, 2.0),   // violates both disjuncts
+    ] {
+        let truth = (3.0 * y - 3.0 * z - 2.0 == 0.0)
+            && ((x - 3.0 * z == 0.0) || (x + y + z == 0.0));
+        println!("{:>8} {:>8} {:>8} {:>10.4} {:>8}", x, y, z, model(x, y, z), truth);
+    }
+}

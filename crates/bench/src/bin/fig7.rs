@@ -1,0 +1,14 @@
+//! Regenerates **Figure 7**: S(x ≥ 0) under the original sigmoid
+//! relaxation (7a) vs the PBQU relaxation (7b), with the paper's plotting
+//! constants B = 5, ε = 0.5, c₁ = 0.5, c₂ = 5.
+
+use gcln_logic::relax::{pbqu_ge, sigmoid_ge};
+
+fn main() {
+    println!("{:>6} {:>12} {:>12}", "x", "sigmoid", "pbqu");
+    let mut x = -10.0;
+    while x <= 10.0 + 1e-9 {
+        println!("{:>6.1} {:>12.5} {:>12.5}", x, sigmoid_ge(x, 5.0, 0.5), pbqu_ge(x, 0.5, 5.0));
+        x += 0.5;
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Figure 8**: ps4 training data without (8b) and with (8c)
+//! fractional sampling.
+
+use gcln::fractional::{fractional_points, FractionalConfig};
+use gcln_lang::interp::{run_program, RunConfig};
+use gcln_problems::nla::nla_problem;
+
+fn main() {
+    let p = nla_problem("ps4").unwrap();
+    println!("(8b) integer samples (k = 5):");
+    println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "x", "y", "y^2", "y^3", "y^4");
+    let run = run_program(&p.program, &[5i128], &RunConfig::default());
+    let (xi, yi) = (p.program.var_id("x").unwrap(), p.program.var_id("y").unwrap());
+    for s in &run.trace {
+        let (x, y) = (s.state[xi] as f64, s.state[yi] as f64);
+        println!("{:>8} {:>8} {:>8} {:>8} {:>8}", x, y, y * y, y.powi(3), y.powi(4));
+    }
+    println!("\n(8c) fractional samples (0.5 grid):");
+    println!("{:>8} {:>8} {:>8} {:>8} {:>8} {:>8}", "x", "y", "y^3", "y^4", "x0", "y0");
+    let data = fractional_points(&p, 0, &FractionalConfig::default()).unwrap();
+    for pt in data.points.iter().filter(|pt| pt[1].fract() != 0.0).take(12) {
+        println!(
+            "{:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            pt[0], pt[1], pt[1].powi(3), pt[1].powi(4), pt[2], pt[3]
+        );
+    }
+}

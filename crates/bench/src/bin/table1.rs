@@ -1,0 +1,11 @@
+//! Regenerates **Table 1** alone (normalization of the sqrt samples);
+//! `fig4` prints both the raw and normalized views.
+
+fn main() {
+    println!("see `fig4` for the combined Figure 4b + Table 1 output");
+    let status = std::process::Command::new(std::env::current_exe().unwrap().with_file_name("fig4"))
+        .status();
+    if status.is_err() {
+        eprintln!("run `cargo run -p gcln-bench --bin fig4` instead");
+    }
+}

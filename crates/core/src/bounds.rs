@@ -1,0 +1,396 @@
+//! Inequality-bound learning with PBQU activations (paper §4.2, §5.2.2).
+//!
+//! Candidate inequalities are linear forms over small term subsets — all
+//! single terms of degree ≤ 2, pairs of such terms, and triples of
+//! degree-1 terms (the paper considers "all possible combinations of
+//! variables up to 3 terms and 2nd degree"). For each subset a PBQU
+//! neuron `S(w·t + b ≥ 0)` is trained; Theorem 4.2 guarantees the learned
+//! bound is tight on the data. Weights are rounded to small rationals,
+//! the bias is recomputed exactly as the tightest valid value, and bounds
+//! whose mean PBQU activation falls below a threshold (loose fits,
+//! Fig. 10's dashed lines) are discarded.
+
+use crate::terms::TermSpace;
+use gcln_logic::relax::pbqu_ge;
+use gcln_logic::{Atom, Pred};
+use gcln_numeric::{Poly, Rat};
+use gcln_tensor::optim::{project_unit_l2, Adam, OptimizerConfig};
+use gcln_tensor::tape::Tape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Settings for bound learning.
+#[derive(Clone, Debug)]
+pub struct BoundsConfig {
+    /// PBQU below-boundary constant (paper training value: 1).
+    pub c1: f64,
+    /// PBQU above-boundary constant (paper training value: 50).
+    pub c2: f64,
+    /// Epochs per candidate subset.
+    pub epochs: usize,
+    /// Adam settings for bound training.
+    pub optimizer: OptimizerConfig,
+    /// Keep a bound only if its mean PBQU activation reaches this.
+    pub activation_threshold: f64,
+    /// Denominator budgets for rounding weights.
+    pub denominators: Vec<i128>,
+    /// Hard cap on emitted bounds (tightest kept first).
+    pub max_bounds: usize,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for BoundsConfig {
+    fn default() -> Self {
+        BoundsConfig {
+            c1: 1.0,
+            c2: 50.0,
+            epochs: 150,
+            optimizer: OptimizerConfig { learning_rate: 0.05, decay: 0.999 },
+            activation_threshold: 0.55,
+            denominators: vec![1, 2, 4],
+            max_bounds: 64,
+            seed: 11,
+        }
+    }
+}
+
+/// A learned bound with its tightness score.
+#[derive(Clone, Debug)]
+pub struct LearnedBound {
+    /// The inequality `poly >= 0`.
+    pub atom: Atom,
+    /// Mean PBQU activation over the data (1 = everything on the
+    /// boundary).
+    pub score: f64,
+}
+
+/// Learns tight inequality bounds over the data.
+///
+/// `points` are raw (unnormalized) term-space points; `columns` are the
+/// normalized per-term columns used for gradient training.
+pub fn learn_bounds(
+    space: &TermSpace,
+    points: &[Vec<f64>],
+    columns: &[Vec<f64>],
+    config: &BoundsConfig,
+) -> Vec<Atom> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut results: Vec<LearnedBound> = Vec::new();
+
+    // Term indices by degree (excluding the constant term).
+    let deg1: Vec<usize> = (0..space.len())
+        .filter(|&i| space.monomials[i].degree() == 1)
+        .collect();
+    let deg12: Vec<usize> = (0..space.len())
+        .filter(|&i| (1..=2).contains(&space.monomials[i].degree()))
+        .collect();
+
+    // Candidate subsets.
+    let mut subsets: Vec<Vec<usize>> = Vec::new();
+    for &i in &deg12 {
+        subsets.push(vec![i]);
+    }
+    for (a, &i) in deg12.iter().enumerate() {
+        for &j in deg12.iter().skip(a + 1) {
+            if space.monomials[i].degree() + space.monomials[j].degree() <= 3 {
+                subsets.push(vec![i, j]);
+            }
+        }
+    }
+    for (a, &i) in deg1.iter().enumerate() {
+        for (b, &j) in deg1.iter().enumerate().skip(a + 1) {
+            for &k in deg1.iter().skip(b + 1) {
+                subsets.push(vec![i, j, k]);
+            }
+        }
+    }
+
+    for subset in subsets {
+        // Single terms admit the two fixed directions ±1 directly.
+        let directions: Vec<Vec<f64>> = if subset.len() == 1 {
+            vec![vec![1.0], vec![-1.0]]
+        } else {
+            train_directions(&subset, columns, config, &mut rng)
+        };
+        for dir in directions {
+            if let Some(bound) = round_and_tighten(&subset, &dir, space, points, config) {
+                if bound.score >= config.activation_threshold {
+                    results.push(bound);
+                }
+            }
+        }
+    }
+
+    // Dedup by polynomial, keep the tightest, cap the count.
+    results.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+    let mut seen: Vec<Poly> = Vec::new();
+    let mut out = Vec::new();
+    for b in results {
+        if seen.contains(&b.atom.poly) {
+            continue;
+        }
+        seen.push(b.atom.poly.clone());
+        out.push(b.atom);
+        if out.len() >= config.max_bounds {
+            break;
+        }
+    }
+    out
+}
+
+/// Trains PBQU neurons (a couple of restarts) on the subset's normalized
+/// columns and returns the learned weight directions.
+fn train_directions(
+    subset: &[usize],
+    columns: &[Vec<f64>],
+    config: &BoundsConfig,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
+    let k = subset.len();
+    let mut tape = Tape::new();
+    let xs: Vec<_> = (0..k).map(|i| tape.input(i)).collect();
+    let ws: Vec<_> = (0..k).map(|i| tape.param(i)).collect();
+    let bias = tape.param(k);
+    let z = tape.affine(&ws, &xs, Some(bias));
+    // PBQU: select(z, c2²/(z²+c2²), c1²/(z²+c1²)); loss = mean(1 − act).
+    let z2 = tape.square(z);
+    let c1sq = tape.constant(config.c1 * config.c1);
+    let c2sq = tape.constant(config.c2 * config.c2);
+    let d1 = tape.add(z2, c1sq);
+    let d2 = tape.add(z2, c2sq);
+    let below = tape.div(c1sq, d1);
+    let above = tape.div(c2sq, d2);
+    let act = tape.select_nonneg(z, above, below);
+    let one = tape.constant(1.0);
+    let dis = tape.sub(one, act);
+    let loss = tape.mean_batch(dis);
+
+    let sub_columns: Vec<Vec<f64>> = subset.iter().map(|&t| columns[t].clone()).collect();
+    // Restarts: every sign pattern up to global sign (canonical tight
+    // directions), plus two random initializations.
+    let mut inits: Vec<Vec<f64>> = Vec::new();
+    for bits in 0..(1u32 << (k - 1)) {
+        let mut w: Vec<f64> = (0..k)
+            .map(|i| if i > 0 && (bits >> (i - 1)) & 1 == 1 { -1.0 } else { 1.0 })
+            .collect();
+        project_unit_l2(&mut w);
+        inits.push(w.clone());
+        inits.push(w.iter().map(|x| -x).collect());
+    }
+    for _ in 0..2 {
+        let mut w: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        project_unit_l2(&mut w);
+        inits.push(w);
+    }
+    // The canonical directions themselves are kept as candidates too:
+    // gradient refinement finds data-specific slopes, while the ±1
+    // patterns guarantee the octahedral family survives training noise.
+    let mut out = inits.clone();
+    for init in inits {
+        let mut params: Vec<f64> = init;
+        params.push(rng.gen::<f64>() * 0.1);
+        let mut adam = Adam::new(k + 1, config.optimizer);
+        for _ in 0..config.epochs {
+            let (_, grads) = tape.eval_with_grad(loss, &sub_columns, &params);
+            adam.step(&mut params, &grads);
+            project_unit_l2(&mut params[..k]);
+        }
+        out.push(params[..k].to_vec());
+    }
+    out
+}
+
+/// Rounds a direction to small rationals, recomputes the bias exactly as
+/// the tightest value valid on all points (Theorem 4.2's "desired"
+/// inequality: valid everywhere, tight somewhere), and scores tightness
+/// by mean PBQU activation.
+fn round_and_tighten(
+    subset: &[usize],
+    direction: &[f64],
+    space: &TermSpace,
+    points: &[Vec<f64>],
+    config: &BoundsConfig,
+) -> Option<LearnedBound> {
+    let max_abs = direction.iter().fold(0.0f64, |a, &w| a.max(w.abs()));
+    if max_abs < 1e-9 {
+        return None;
+    }
+    let mut best: Option<LearnedBound> = None;
+    for &den in &config.denominators {
+        let Some(coeffs) = direction
+            .iter()
+            .map(|&w| Rat::approximate(w / max_abs, den))
+            .collect::<Option<Vec<Rat>>>()
+        else {
+            continue;
+        };
+        if coeffs.iter().all(Rat::is_zero) {
+            continue;
+        }
+        // Evaluate w·t over raw points exactly where possible.
+        let mut values: Vec<f64> = Vec::with_capacity(points.len());
+        for p in points {
+            let v: f64 = subset
+                .iter()
+                .zip(&coeffs)
+                .map(|(&t, c)| c.to_f64() * space.monomials[t].eval_f64(p))
+                .sum();
+            values.push(v);
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        if !min.is_finite() {
+            continue;
+        }
+        // Constant slack means the direction is an equality (or a shifted
+        // one) — the equality learner owns those; emitting them as bounds
+        // would crowd out genuine inequalities.
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if (max - min).abs() < 1e-9 {
+            continue;
+        }
+        // Tight bias: -min, as a rational (training data is integral or
+        // dyadic so this is exact in practice).
+        let bias = Rat::approximate(-min, 1 << 20)?;
+        let score = values
+            .iter()
+            .map(|v| pbqu_ge(v - min, config.c1, config.c2))
+            .sum::<f64>()
+            / values.len() as f64;
+        let arity = space.names.len();
+        let mut poly = Poly::constant(bias, arity);
+        for (&t, c) in subset.iter().zip(&coeffs) {
+            poly.add_term(*c, space.monomials[t].clone());
+        }
+        if poly.is_zero() || poly.is_constant() {
+            continue;
+        }
+        let poly = scale_to_integer_coeffs(poly);
+        if best.as_ref().map_or(true, |b| score > b.score) {
+            best = Some(LearnedBound { atom: Atom::new(poly, Pred::Ge), score });
+        }
+    }
+    best
+}
+
+/// Clears denominators (×lcm) without flipping the sign, keeping the
+/// inequality equivalent.
+fn scale_to_integer_coeffs(poly: Poly) -> Poly {
+    let mut lcm: i128 = 1;
+    for (_, c) in poly.iter() {
+        let d = c.denom();
+        lcm = lcm / gcln_numeric::rat::gcd_i128(lcm, d) * d;
+    }
+    poly.scale(Rat::integer(lcm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn sqrt_points() -> Vec<Vec<f64>> {
+        // (n, a) pairs with a = isqrt-ish: a^2 <= n.
+        let mut out = Vec::new();
+        for n in 0..40 {
+            let a = (n as f64).sqrt().floor();
+            out.push(vec![n as f64, a]);
+        }
+        out
+    }
+
+    #[test]
+    fn learns_tight_sqrt_bound() {
+        // Figure 1b / 10b: among bounds over (n, a^2) the tight one is
+        // n - a^2 >= 0.
+        let space = TermSpace::enumerate(names(&["n", "a"]), 2);
+        let points = sqrt_points();
+        let ds = Dataset::from_points(points.clone(), &space, Some(10.0));
+        let bounds = learn_bounds(&space, &points, &ds.columns(), &BoundsConfig::default());
+        assert!(!bounds.is_empty());
+        let target = gcln_logic::parse_poly("n - a^2", &space.names).unwrap();
+        let found = bounds
+            .iter()
+            .any(|b| b.poly.normalize_content() == target.normalize_content());
+        let shown: Vec<String> = bounds
+            .iter()
+            .map(|b| b.display(&space.names).to_string())
+            .collect();
+        assert!(found, "expected n - a^2 >= 0 among {shown:?}");
+    }
+
+    #[test]
+    fn all_learned_bounds_are_valid_on_data() {
+        let space = TermSpace::enumerate(names(&["n", "a"]), 2);
+        let points = sqrt_points();
+        let ds = Dataset::from_points(points.clone(), &space, Some(10.0));
+        let bounds = learn_bounds(&space, &points, &ds.columns(), &BoundsConfig::default());
+        for b in &bounds {
+            assert!(
+                crate::extract::atom_fits(&b.poly, Pred::Ge, &points, 1e-9),
+                "bound {} violated on data",
+                b.display(&space.names)
+            );
+        }
+    }
+
+    #[test]
+    fn tight_bounds_score_above_loose_ones() {
+        // Directly exercise the scoring: slack-0 data scores 1.
+        let space = TermSpace::enumerate(names(&["x"]), 1);
+        let points: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ds = Dataset::from_points(points.clone(), &space, Some(10.0));
+        let bounds = learn_bounds(&space, &points, &ds.columns(), &BoundsConfig::default());
+        // x >= 0 should be found (bias 0, tight at x=0).
+        let target = gcln_logic::parse_poly("x", &space.names).unwrap();
+        assert!(
+            bounds.iter().any(|b| b.poly == target),
+            "x >= 0 missing from {:?}",
+            bounds.iter().map(|b| b.display(&space.names).to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_data_yields_no_bounds() {
+        let space = TermSpace::enumerate(names(&["x"]), 1);
+        let bounds = learn_bounds(&space, &[], &[], &BoundsConfig::default());
+        assert!(bounds.is_empty());
+    }
+
+    #[test]
+    fn triple_bounds_over_three_variables() {
+        // dijkstra-style: r < 2p + q i.e. 2p + q - r >= 0 (with slack
+        // small on data): generate states satisfying r = 2p + q - 1.
+        let space = TermSpace::enumerate(names(&["p", "q", "r"]), 2);
+        // r stays below 2p + q with *varying* slack (as in the real
+        // dijkstra loop), so the bound is a genuine inequality.
+        let mut points = Vec::new();
+        for p in 0..8 {
+            for q in [1i64, 4, 16] {
+                for gap in [1i64, 2, 3] {
+                    let r = 2 * p + q - gap;
+                    if r >= 0 {
+                        points.push(vec![p as f64, q as f64, r as f64]);
+                    }
+                }
+            }
+        }
+        let ds = Dataset::from_points(points.clone(), &space, Some(10.0));
+        let bounds = learn_bounds(&space, &points, &ds.columns(), &BoundsConfig::default());
+        let target = gcln_logic::parse_poly("2*p + q - r - 1", &space.names).unwrap();
+        assert!(
+            bounds
+                .iter()
+                .any(|b| b.poly.normalize_content() == target.normalize_content()),
+            "expected 2p + q - r - 1 >= 0 among {:?}",
+            bounds.iter().map(|b| b.display(&space.names).to_string()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # gcln — Gated Continuous Logic Networks for loop invariant inference
+//!
+//! The core library of the PLDI 2020 reproduction ("Learning Nonlinear
+//! Loop Invariants with Gated Continuous Logic Networks"): a data-driven
+//! system that learns SMT loop invariants — including nonlinear
+//! polynomial equalities and tight inequality bounds — directly from
+//! program traces.
+//!
+//! Pipeline stages (paper Fig. 3), each its own module:
+//!
+//! - [`terms`]: candidate monomial enumeration + growth filtering (§3,
+//!   §5.1.3)
+//! - [`data`]: trace collection and L2 data normalization (§5.1.1)
+//! - [`model`]: the gated CNF architecture and training (§4.1, §5.2.1)
+//! - [`extract`]: formula extraction, Algorithm 1 + rational rounding
+//! - [`bounds`]: PBQU tight-bound learning (§4.2, §5.2.2)
+//! - [`fractional`]: fractional sampling, the sound real-relaxation of
+//!   loop semantics (§4.3)
+//! - [`pipeline`]: the CEGIS driver tying it to the checker
+//!
+//! # Examples
+//!
+//! Infer the invariant of the paper's Fig. 1b square-root loop:
+//!
+//! ```no_run
+//! use gcln::pipeline::{infer_invariants, PipelineConfig};
+//! let problem = gcln_problems::nla::nla_problem("sqrt1").unwrap();
+//! let outcome = infer_invariants(&problem, &PipelineConfig::default());
+//! let names = problem.extended_names();
+//! println!("invariant: {}", outcome.formula_for(0).unwrap().display(&names));
+//! ```
+
+pub mod bounds;
+pub mod data;
+pub mod extract;
+pub mod fractional;
+pub mod kernel;
+pub mod model;
+pub mod pipeline;
+pub mod terms;
+
+pub use model::{GclnConfig, TrainedGcln};
+pub use pipeline::{infer_invariants, InferenceOutcome, PipelineConfig};
+pub use terms::TermSpace;

@@ -1,0 +1,281 @@
+//! Abstract syntax for the loop-program language.
+//!
+//! The language covers exactly the fragment the NLA and Code2Inv benchmarks
+//! need: integer arithmetic with truncating division/remainder, external
+//! function calls (`gcd`), boolean conditions, `if`/`else`, (possibly
+//! nested) `while` loops, and nondeterministic choices for the Code2Inv-
+//! style linear problems.
+//!
+//! Variables are resolved to dense indices ([`VarId`]) by
+//! [`crate::sema::resolve`]; the parser produces name-based ASTs and the
+//! resolver rewrites them in place.
+
+use std::fmt;
+
+/// A resolved variable index into the interpreter environment.
+pub type VarId = usize;
+
+/// Binary arithmetic operators.
+///
+/// `Div` and `Rem` follow C semantics (truncation toward zero), matching
+/// the benchmark programs' source language.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Truncating division.
+    Div,
+    /// Truncating remainder.
+    Rem,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The comparison with operands swapped (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation (`!(a op b)` ⇔ `a op.negate() b`).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Arithmetic expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i128),
+    /// Variable reference by name (pre-resolution).
+    Name(String),
+    /// Variable reference by resolved index (post-resolution).
+    Var(VarId),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// External/builtin function call, e.g. `gcd(a, b)`.
+    Call(String, Vec<Expr>),
+    /// Nondeterministic integer in an inclusive range: `nondet(lo, hi)`.
+    NondetInt(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a binary node.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+}
+
+/// Boolean expressions (conditions, pre/postconditions).
+#[derive(Clone, Debug, PartialEq)]
+pub enum BoolExpr {
+    /// Literal truth.
+    Const(bool),
+    /// Comparison between arithmetic expressions.
+    Cmp(CmpOp, Expr, Expr),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Nondeterministic boolean (`nondet()`), used by Code2Inv-style
+    /// programs for unknown branches/loop exits.
+    Nondet,
+}
+
+impl BoolExpr {
+    /// Convenience constructor for a comparison.
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> BoolExpr {
+        BoolExpr::Cmp(op, lhs, rhs)
+    }
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `x = e;` (variable by name pre-resolution, by id after).
+    Assign {
+        /// Target variable name (source form).
+        name: String,
+        /// Resolved target (filled by the resolver).
+        var: Option<VarId>,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (c) { .. } else { .. }`.
+    If {
+        /// Branch condition.
+        cond: BoolExpr,
+        /// Then-branch body.
+        then_body: Vec<Stmt>,
+        /// Else-branch body (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (c) { .. }`. Each loop gets a dense id in source order,
+    /// assigned by the parser; traces are recorded per loop id.
+    While {
+        /// Dense loop identifier (source order).
+        id: usize,
+        /// Loop guard.
+        cond: BoolExpr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `assume c;` — silently abandons executions violating `c`
+    /// (used to encode input constraints inside nondeterministic programs).
+    Assume(BoolExpr),
+    /// `break;` — exits the innermost enclosing loop.
+    Break,
+}
+
+/// A parsed (and possibly resolved) loop program.
+///
+/// Construct via [`crate::parse_program`] or the builder-style helpers in
+/// tests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Program name (from the `program <name>;` header).
+    pub name: String,
+    /// Input parameter names, in declaration order. Inputs are the
+    /// variables supplied to [`crate::interp::run_program`].
+    pub inputs: Vec<String>,
+    /// All variable names (inputs first), filled by the resolver;
+    /// indices correspond to [`VarId`]s.
+    pub vars: Vec<String>,
+    /// Precondition over the inputs (defaults to `true`).
+    pub pre: BoolExpr,
+    /// Postcondition over the final state (defaults to `true`).
+    pub post: BoolExpr,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+    /// Number of `while` loops (dense ids `0..num_loops`).
+    pub num_loops: usize,
+}
+
+impl Program {
+    /// Looks up a variable id by name.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.vars.iter().position(|v| v == name)
+    }
+
+    /// The number of variables in the resolved environment.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Finds the `While` statement with the given loop id, if any.
+    pub fn find_loop(&self, id: usize) -> Option<&Stmt> {
+        fn walk<'a>(stmts: &'a [Stmt], id: usize) -> Option<&'a Stmt> {
+            for s in stmts {
+                match s {
+                    Stmt::While { id: lid, body, .. } => {
+                        if *lid == id {
+                            return Some(s);
+                        }
+                        if let Some(found) = walk(body, id) {
+                            return Some(found);
+                        }
+                    }
+                    Stmt::If { then_body, else_body, .. } => {
+                        if let Some(found) = walk(then_body, id) {
+                            return Some(found);
+                        }
+                        if let Some(found) = walk(else_body, id) {
+                            return Some(found);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        walk(&self.body, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_flip_negate() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.negate(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn display_ops() {
+        assert_eq!(BinOp::Add.to_string(), "+");
+        assert_eq!(CmpOp::Ge.to_string(), ">=");
+    }
+}

@@ -1,0 +1,89 @@
+//! # gcln-lang — the loop-program language of the G-CLN reproduction
+//!
+//! The NLA and Code2Inv benchmarks are small imperative programs; this
+//! crate provides their source language end to end:
+//!
+//! - [`lexer`] / [`parser`]: a C-like surface syntax with `while`, `if`,
+//!   compound assignment, `nondet()` choices, and `pre`/`post`/`inputs`
+//!   headers.
+//! - [`sema`]: name resolution to dense variable indices.
+//! - [`interp`]: execution over `i128` (benchmark semantics) or `f64`
+//!   (the paper's fractional-sampling relaxation, §4.3), with loop-head
+//!   trace collection and single-iteration stepping for the checker.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcln_lang::{parse_program, interp::{run_program, RunConfig}};
+//! let program = parse_program(
+//!     "program cube; inputs a; pre a >= 0; post x == a * a * a;
+//!      n = 0; x = 0; y = 1; z = 6;
+//!      while (n != a) { n += 1; x += y; y += z; z += 6; }",
+//! )?;
+//! let run = run_program(&program, &[4i128], &RunConfig::default());
+//! assert_eq!(run.env[program.var_id("x").unwrap()], 64);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+
+pub use ast::{BinOp, BoolExpr, CmpOp, Expr, Program, Stmt, VarId};
+pub use interp::{run_program, Num, Outcome, Run, RunConfig, Snapshot};
+
+use std::fmt;
+
+/// Error from [`parse_program`]: either a parse failure or a resolution
+/// failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Lexical or syntactic error.
+    Parse(parser::ParseError),
+    /// Name-resolution error.
+    Resolve(sema::ResolveError),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Parse(e) => write!(f, "{e}"),
+            ProgramError::Resolve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl From<parser::ParseError> for ProgramError {
+    fn from(e: parser::ParseError) -> Self {
+        ProgramError::Parse(e)
+    }
+}
+
+impl From<sema::ResolveError> for ProgramError {
+    fn from(e: sema::ResolveError) -> Self {
+        ProgramError::Resolve(e)
+    }
+}
+
+/// Parses and resolves a program in one step.
+///
+/// # Errors
+///
+/// Returns [`ProgramError`] on syntax or resolution failures.
+///
+/// # Examples
+///
+/// ```
+/// use gcln_lang::parse_program;
+/// let p = parse_program("inputs n; x = n + 1;")?;
+/// assert_eq!(p.vars, vec!["n", "x"]);
+/// # Ok::<(), gcln_lang::ProgramError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ProgramError> {
+    let unresolved = parser::parse_unresolved(src)?;
+    Ok(sema::resolve(unresolved)?)
+}

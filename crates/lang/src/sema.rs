@@ -1,0 +1,270 @@
+//! Name resolution and semantic checks.
+//!
+//! Turns the parser's name-based AST into an index-based one: inputs get
+//! the first [`VarId`](crate::ast::VarId)s in declaration order, then local
+//! variables in order of first assignment. Expressions referencing names
+//! that are neither inputs nor ever assigned are rejected, as are calls to
+//! unknown functions or with wrong arity.
+//!
+//! Locals start at 0 before their first assignment (the benchmark programs
+//! always initialize before use; the interpreter enforces nothing further).
+
+use crate::ast::{BoolExpr, Expr, Program, Stmt};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The builtin/external functions visible to programs: name and arity.
+///
+/// `gcd` is the external function the paper's four gcd/lcm problems need
+/// (§5.3); `min`/`max`/`abs` round out the benchmark fragment.
+pub const BUILTINS: &[(&str, usize)] = &[("gcd", 2), ("min", 2), ("max", 2), ("abs", 1)];
+
+/// Error produced by name resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResolveError {
+    /// An expression referenced a variable that is neither an input nor
+    /// ever assigned.
+    UnknownVariable(String),
+    /// A call to a function not in [`BUILTINS`].
+    UnknownFunction(String),
+    /// A builtin called with the wrong number of arguments.
+    WrongArity {
+        /// Function name.
+        name: String,
+        /// Arity declared in [`BUILTINS`].
+        expected: usize,
+        /// Arity at the call site.
+        found: usize,
+    },
+    /// The same name was declared as an input twice.
+    DuplicateInput(String),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::UnknownVariable(n) => write!(f, "unknown variable `{n}`"),
+            ResolveError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            ResolveError::WrongArity { name, expected, found } => {
+                write!(f, "function `{name}` expects {expected} arguments, found {found}")
+            }
+            ResolveError::DuplicateInput(n) => write!(f, "duplicate input `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+struct Resolver {
+    ids: HashMap<String, usize>,
+    names: Vec<String>,
+}
+
+impl Resolver {
+    fn declare(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len();
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn collect_assigned(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { name, .. } => {
+                    self.declare(name);
+                }
+                Stmt::If { then_body, else_body, .. } => {
+                    self.collect_assigned(then_body);
+                    self.collect_assigned(else_body);
+                }
+                Stmt::While { body, .. } => self.collect_assigned(body),
+                Stmt::Assume(_) | Stmt::Break => {}
+            }
+        }
+    }
+
+    fn resolve_expr(&self, e: &mut Expr) -> Result<(), ResolveError> {
+        match e {
+            Expr::Int(_) | Expr::Var(_) => Ok(()),
+            Expr::Name(name) => {
+                let id = self
+                    .ids
+                    .get(name.as_str())
+                    .copied()
+                    .ok_or_else(|| ResolveError::UnknownVariable(name.clone()))?;
+                *e = Expr::Var(id);
+                Ok(())
+            }
+            Expr::Bin(_, a, b) => {
+                self.resolve_expr(a)?;
+                self.resolve_expr(b)
+            }
+            Expr::Neg(a) => self.resolve_expr(a),
+            Expr::Call(name, args) => {
+                let arity = BUILTINS
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, a)| *a)
+                    .ok_or_else(|| ResolveError::UnknownFunction(name.clone()))?;
+                if args.len() != arity {
+                    return Err(ResolveError::WrongArity {
+                        name: name.clone(),
+                        expected: arity,
+                        found: args.len(),
+                    });
+                }
+                for a in args {
+                    self.resolve_expr(a)?;
+                }
+                Ok(())
+            }
+            Expr::NondetInt(lo, hi) => {
+                self.resolve_expr(lo)?;
+                self.resolve_expr(hi)
+            }
+        }
+    }
+
+    fn resolve_bool(&self, b: &mut BoolExpr) -> Result<(), ResolveError> {
+        match b {
+            BoolExpr::Const(_) | BoolExpr::Nondet => Ok(()),
+            BoolExpr::Cmp(_, l, r) => {
+                self.resolve_expr(l)?;
+                self.resolve_expr(r)
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                self.resolve_bool(a)?;
+                self.resolve_bool(b)
+            }
+            BoolExpr::Not(a) => self.resolve_bool(a),
+        }
+    }
+
+    fn resolve_stmts(&self, stmts: &mut [Stmt]) -> Result<(), ResolveError> {
+        for s in stmts {
+            match s {
+                Stmt::Assign { name, var, value } => {
+                    *var = Some(
+                        self.ids
+                            .get(name.as_str())
+                            .copied()
+                            .expect("assignment targets pre-declared in collect_assigned"),
+                    );
+                    self.resolve_expr(value)?;
+                }
+                Stmt::If { cond, then_body, else_body } => {
+                    self.resolve_bool(cond)?;
+                    self.resolve_stmts(then_body)?;
+                    self.resolve_stmts(else_body)?;
+                }
+                Stmt::While { cond, body, .. } => {
+                    self.resolve_bool(cond)?;
+                    self.resolve_stmts(body)?;
+                }
+                Stmt::Assume(cond) => self.resolve_bool(cond)?,
+                Stmt::Break => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Resolves names in a parsed program, filling `vars` and rewriting
+/// `Expr::Name` to `Expr::Var`.
+///
+/// # Errors
+///
+/// Returns [`ResolveError`] for unknown names/functions, arity mismatches,
+/// or duplicate inputs.
+pub fn resolve(mut program: Program) -> Result<Program, ResolveError> {
+    let mut r = Resolver { ids: HashMap::new(), names: Vec::new() };
+    for input in &program.inputs {
+        if r.ids.contains_key(input.as_str()) {
+            return Err(ResolveError::DuplicateInput(input.clone()));
+        }
+        r.declare(input);
+    }
+    r.collect_assigned(&program.body);
+    r.resolve_stmts(&mut program.body)?;
+    r.resolve_bool(&mut program.pre)?;
+    r.resolve_bool(&mut program.post)?;
+    program.vars = r.names;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unresolved;
+
+    fn resolved(src: &str) -> Program {
+        resolve(parse_unresolved(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn inputs_come_first() {
+        let p = resolved("inputs a, b; x = a + b;");
+        assert_eq!(p.vars, vec!["a", "b", "x"]);
+        assert_eq!(p.var_id("x"), Some(2));
+    }
+
+    #[test]
+    fn locals_in_first_assignment_order() {
+        let p = resolved("z = 0; y = z; x = y;");
+        assert_eq!(p.vars, vec!["z", "y", "x"]);
+    }
+
+    #[test]
+    fn names_rewritten_to_vars() {
+        let p = resolved("inputs a; x = a;");
+        let Stmt::Assign { var, value, .. } = &p.body[0] else { panic!() };
+        assert_eq!(*var, Some(1));
+        assert_eq!(*value, Expr::Var(0));
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let err = resolve(parse_unresolved("x = y;").unwrap()).unwrap_err();
+        assert_eq!(err, ResolveError::UnknownVariable("y".into()));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let err = resolve(parse_unresolved("x = frob(1);").unwrap()).unwrap_err();
+        assert_eq!(err, ResolveError::UnknownFunction("frob".into()));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let err = resolve(parse_unresolved("x = gcd(1);").unwrap()).unwrap_err();
+        assert!(matches!(err, ResolveError::WrongArity { expected: 2, found: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_input_rejected() {
+        let err = resolve(parse_unresolved("inputs a, a; x = 1;").unwrap()).unwrap_err();
+        assert_eq!(err, ResolveError::DuplicateInput("a".into()));
+    }
+
+    #[test]
+    fn pre_post_resolved() {
+        let p = resolved("inputs n; pre n >= 0; post x == n; x = n;");
+        let BoolExpr::Cmp(_, Expr::Var(0), _) = p.pre else {
+            panic!("pre not resolved: {:?}", p.pre)
+        };
+        let BoolExpr::Cmp(_, Expr::Var(1), _) = p.post else {
+            panic!("post not resolved: {:?}", p.post)
+        };
+    }
+
+    #[test]
+    fn forward_reference_within_body_ok() {
+        // y is assigned later in the program text; collect pass sees it.
+        let p = resolved("x = 0; while (x < 2) { x = x + 1; y = x; } z = y;");
+        assert!(p.var_id("y").is_some());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the loop language: lexer totality, parser
+//! robustness, and agreement between the integer and real interpreters.
+
+use gcln_lang::interp::{run_program, Nondet, Outcome, RunConfig};
+use gcln_lang::lexer::tokenize;
+use gcln_lang::parse_program;
+use proptest::prelude::*;
+
+proptest! {
+    /// The lexer is total: any ASCII input either tokenizes or returns a
+    /// clean error — never panics.
+    #[test]
+    fn lexer_never_panics(s in "[ -~\\n]{0,200}") {
+        let _ = tokenize(&s);
+    }
+
+    /// The parser is total over token streams built from valid fragments.
+    #[test]
+    fn parser_never_panics(s in "[a-z0-9 =+\\-*/%(){};<>!&|,]{0,120}") {
+        let _ = parse_program(&s);
+    }
+
+    /// Nondet is a pure function of its seed.
+    #[test]
+    fn nondet_deterministic(seed in any::<u64>(), lo in -50i128..50, span in 0i128..50) {
+        let hi = lo + span;
+        let mut a = Nondet::new(seed);
+        let mut b = Nondet::new(seed);
+        for _ in 0..10 {
+            prop_assert_eq!(a.next_bool(), b.next_bool());
+            let (x, y) = (a.next_range(lo, hi), b.next_range(lo, hi));
+            prop_assert_eq!(x, y);
+            prop_assert!((lo..=hi).contains(&x));
+        }
+    }
+
+    /// On +,-,* programs with integer inputs, the real-relaxed interpreter
+    /// agrees exactly with the integer one (the soundness premise of
+    /// fractional sampling, §4.3).
+    #[test]
+    fn real_interpreter_agrees_on_integer_inputs(
+        n in 0i128..30,
+        step in 1i128..5,
+        coef in -4i128..=4,
+    ) {
+        let src = format!(
+            "inputs n; pre n >= 0;
+             x = 0; i = 0;
+             while (i < n) {{ i = i + {step}; x = x + {coef} * i; }}"
+        );
+        let p = parse_program(&src).unwrap();
+        let int_run = run_program(&p, &[n], &RunConfig::default());
+        let real_run = run_program(&p, &[n as f64], &RunConfig::default());
+        prop_assert_eq!(int_run.outcome, Outcome::Completed);
+        prop_assert_eq!(real_run.outcome, Outcome::Completed);
+        prop_assert_eq!(int_run.trace.len(), real_run.trace.len());
+        for (a, b) in int_run.env.iter().zip(&real_run.env) {
+            prop_assert_eq!(*a as f64, *b);
+        }
+    }
+
+    /// Truncating division/remainder obey the C identity
+    /// `a == (a/b)*b + a%b` in both domains.
+    #[test]
+    fn div_rem_identity(a in -100i128..100, b in 1i128..20, sign in prop::bool::ANY) {
+        let b = if sign { b } else { -b };
+        let src = "inputs a, b; q = a / b; r = a % b; chk = q * b + r;";
+        let p = parse_program(src).unwrap();
+        let run = run_program(&p, &[a, b], &RunConfig::default());
+        prop_assert_eq!(run.outcome, Outcome::Completed);
+        prop_assert_eq!(run.env[p.var_id("chk").unwrap()], a);
+        let real = run_program(&p, &[a as f64, b as f64], &RunConfig::default());
+        prop_assert_eq!(real.env[p.var_id("q").unwrap()], run.env[p.var_id("q").unwrap()] as f64);
+    }
+
+    /// Loop-head snapshots always belong to declared loops and have full
+    /// environment width.
+    #[test]
+    fn trace_snapshots_are_well_formed(n in 0i128..20) {
+        let src = "inputs n; i = 0; t = 0;
+                   while (i < n) { j = 0; while (j < 2) { j = j + 1; t = t + 1; } i = i + 1; }";
+        let p = parse_program(src).unwrap();
+        let run = run_program(&p, &[n], &RunConfig::default());
+        for snap in &run.trace {
+            prop_assert!(snap.loop_id < p.num_loops);
+            prop_assert_eq!(snap.state.len(), p.num_vars());
+        }
+        // Outer loop tested n+1 times.
+        let outer = run.trace.iter().filter(|s| s.loop_id == 0).count();
+        prop_assert_eq!(outer as i128, n + 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # gcln-logic — SMT formulas and their continuous relaxations
+//!
+//! The logical substrate of the G-CLN reproduction:
+//!
+//! - [`formula`]: quantifier-free SMT formulas over polynomial atoms
+//!   (`p ⋈ 0`), with exact ([`gcln_numeric::Rat`]) and float evaluation,
+//!   simplification, substitution and pretty-printing.
+//! - [`parse`]: a text syntax for formulas, used to state ground-truth
+//!   invariants.
+//! - [`fuzzy`]: Basic Fuzzy Logic t-norms/t-conorms and the paper's gated
+//!   variants (§4.1) that let G-CLNs learn formula *structure*.
+//! - [`relax`]: the parametric relaxation `S` (§2.3, §4.2) — sigmoid,
+//!   Gaussian, and PBQU atom semantics plus whole-formula continuous
+//!   evaluation (regenerates Fig. 2 and Fig. 7).
+//!
+//! # Examples
+//!
+//! ```
+//! use gcln_logic::{parse_formula, Formula};
+//! let names: Vec<String> = ["n", "x"].iter().map(|s| s.to_string()).collect();
+//! let inv = parse_formula("x == n^3", &names)?;
+//! assert!(inv.eval_i128(&[3, 27]));
+//! # Ok::<(), gcln_logic::parse::FormulaParseError>(())
+//! ```
+
+pub mod formula;
+pub mod fuzzy;
+pub mod parse;
+pub mod relax;
+
+pub use formula::{Atom, Formula, Pred};
+pub use fuzzy::TNorm;
+pub use parse::{parse_formula, parse_poly};
+pub use relax::{relax_formula, RelaxKind};

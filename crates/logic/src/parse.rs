@@ -1,0 +1,475 @@
+//! A parser for formulas written as text, used to state ground-truth
+//! invariants in the benchmark suite and expected results in tests.
+//!
+//! Syntax: polynomial expressions over named variables with `+ - * ^`
+//! (caret = integer power) and integer/rational literals; comparisons
+//! `== != < <= > >=`; connectives `&& || !`; parentheses; `true`/`false`.
+//! Call-shaped terms such as `gcd(x, y)` are matched against the variable
+//! list by their canonical rendering (`gcd(x,y)`), supporting the paper's
+//! external-function terms (§5.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use gcln_logic::parse_formula;
+//! let names: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+//! let f = parse_formula("x^2 - y == 0 && x >= 1", &names).unwrap();
+//! assert!(f.eval_i128(&[3, 9]));
+//! assert!(!f.eval_i128(&[3, 8]));
+//! ```
+
+use crate::formula::{Formula, Pred};
+use gcln_numeric::{Poly, Rat};
+use std::fmt;
+
+/// Error produced when formula parsing fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FormulaParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for FormulaParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "formula parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for FormulaParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Num(i128),
+    Ident(String),
+    Sym(&'static str),
+}
+
+struct P<'a> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    names: &'a [String],
+}
+
+type FResult<T> = Result<T, FormulaParseError>;
+
+fn lex(src: &str) -> FResult<Vec<(Tok, usize)>> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            let n = text.parse().map_err(|_| FormulaParseError {
+                message: format!("integer literal `{text}` out of range"),
+                offset: start,
+            })?;
+            out.push((Tok::Num(n), start));
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.push((Tok::Ident(b[start..i].iter().collect()), start));
+            continue;
+        }
+        let two: String = b[i..(i + 2).min(b.len())].iter().collect();
+        let sym = match two.as_str() {
+            "==" | "!=" | "<=" | ">=" | "&&" | "||" => {
+                i += 2;
+                match two.as_str() {
+                    "==" => "==",
+                    "!=" => "!=",
+                    "<=" => "<=",
+                    ">=" => ">=",
+                    "&&" => "&&",
+                    _ => "||",
+                }
+            }
+            _ => {
+                i += 1;
+                match c {
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    '^' => "^",
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '<' => "<",
+                    '>' => ">",
+                    '!' => "!",
+                    other => {
+                        return Err(FormulaParseError {
+                            message: format!("unexpected character {other:?}"),
+                            offset: i - 1,
+                        })
+                    }
+                }
+            }
+        };
+        out.push((Tok::Sym(sym), i));
+    }
+    Ok(out)
+}
+
+impl P<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map_or(usize::MAX, |(_, o)| *o)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> FResult<T> {
+        Err(FormulaParseError { message: msg.into(), offset: self.offset() })
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(t)) if *t == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> FResult<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{s}`"))
+        }
+    }
+
+    fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    fn lookup(&self, name: &str) -> FResult<Poly> {
+        match self.names.iter().position(|n| n == name) {
+            Some(i) => Ok(Poly::var(i, self.arity())),
+            None => Err(FormulaParseError {
+                message: format!("unknown variable `{name}`"),
+                offset: self.offset(),
+            }),
+        }
+    }
+
+    // expr := term (("+"|"-") term)*
+    fn expr(&mut self) -> FResult<Poly> {
+        let mut acc = self.term()?;
+        loop {
+            if self.eat_sym("+") {
+                acc = &acc + &self.term()?;
+            } else if self.eat_sym("-") {
+                acc = &acc - &self.term()?;
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    // term := signed ("*" signed)*  (implicit "/int" divides coefficients)
+    fn term(&mut self) -> FResult<Poly> {
+        let mut acc = self.signed()?;
+        loop {
+            if self.eat_sym("*") {
+                acc = &acc * &self.signed()?;
+            } else if self.eat_sym("/") {
+                // Only constant divisors keep us in the polynomial ring.
+                let Some(Tok::Num(n)) = self.peek().cloned() else {
+                    return self.err("`/` requires an integer literal divisor");
+                };
+                self.pos += 1;
+                if n == 0 {
+                    return self.err("division by zero");
+                }
+                acc = acc.scale(Rat::new(1, n));
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    // signed := "-" signed | power   (unary minus binds looser than `^`)
+    fn signed(&mut self) -> FResult<Poly> {
+        if self.eat_sym("-") {
+            Ok(-&self.signed()?)
+        } else {
+            self.power()
+        }
+    }
+
+    // power := factor ("^" int)?
+    fn power(&mut self) -> FResult<Poly> {
+        let base = self.factor()?;
+        if self.eat_sym("^") {
+            let Some(Tok::Num(e)) = self.peek().cloned() else {
+                return self.err("`^` requires an integer literal exponent");
+            };
+            self.pos += 1;
+            if !(0..=16).contains(&e) {
+                return self.err("exponent out of range 0..=16");
+            }
+            let mut acc = Poly::constant(Rat::ONE, self.arity());
+            for _ in 0..e {
+                acc = &acc * &base;
+            }
+            return Ok(acc);
+        }
+        Ok(base)
+    }
+
+    // factor := int | ident | ident "(" args ")" | "(" expr ")" | "-" factor
+    fn factor(&mut self) -> FResult<Poly> {
+        match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                Ok(Poly::constant(Rat::integer(n), self.arity()))
+            }
+            Some(Tok::Sym("-")) => {
+                self.pos += 1;
+                Ok(-&self.signed()?)
+            }
+            Some(Tok::Sym("(")) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                if self.eat_sym("(") {
+                    // Call-shaped term: canonicalize as name(arg1,arg2,...)
+                    // where arguments must be plain identifiers.
+                    let mut parts = Vec::new();
+                    if !matches!(self.peek(), Some(Tok::Sym(")"))) {
+                        loop {
+                            match self.peek().cloned() {
+                                Some(Tok::Ident(arg)) => {
+                                    parts.push(arg);
+                                    self.pos += 1;
+                                }
+                                _ => return self.err("call arguments must be identifiers"),
+                            }
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym(")")?;
+                    let canonical = format!("{name}({})", parts.join(","));
+                    self.lookup(&canonical)
+                } else {
+                    self.lookup(&name)
+                }
+            }
+            other => self.err(format!("expected term, found {other:?}")),
+        }
+    }
+
+    // comparison := expr pred expr
+    fn comparison(&mut self) -> FResult<Formula> {
+        let lhs = self.expr()?;
+        let pred = match self.peek() {
+            Some(Tok::Sym(s)) => match *s {
+                "==" => Pred::Eq,
+                "!=" => Pred::Ne,
+                "<" => Pred::Lt,
+                "<=" => Pred::Le,
+                ">" => Pred::Gt,
+                ">=" => Pred::Ge,
+                other => return self.err(format!("expected comparison, found `{other}`")),
+            },
+            other => return self.err(format!("expected comparison, found {other:?}")),
+        };
+        self.pos += 1;
+        let rhs = self.expr()?;
+        Ok(Formula::atom(&lhs - &rhs, pred))
+    }
+
+    // batom := "true" | "false" | "!" batom | "(" bexpr ")" | comparison
+    fn batom(&mut self) -> FResult<Formula> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(s)) if s == "true" => {
+                self.pos += 1;
+                Ok(Formula::True)
+            }
+            Some(Tok::Ident(s)) if s == "false" => {
+                self.pos += 1;
+                Ok(Formula::False)
+            }
+            Some(Tok::Sym("!")) => {
+                self.pos += 1;
+                Ok(Formula::Not(Box::new(self.batom()?)))
+            }
+            Some(Tok::Sym("(")) => {
+                let save = self.pos;
+                self.pos += 1;
+                if let Ok(inner) = self.bexpr() {
+                    if self.eat_sym(")")
+                        && !matches!(
+                            self.peek(),
+                            Some(Tok::Sym(
+                                "==" | "!=" | "<" | "<=" | ">" | ">=" | "+" | "-" | "*" | "^"
+                            ))
+                        )
+                    {
+                        return Ok(inner);
+                    }
+                }
+                self.pos = save;
+                self.comparison()
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn band(&mut self) -> FResult<Formula> {
+        let mut parts = vec![self.batom()?];
+        while self.eat_sym("&&") {
+            parts.push(self.batom()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn bexpr(&mut self) -> FResult<Formula> {
+        let mut parts = vec![self.band()?];
+        while self.eat_sym("||") {
+            parts.push(self.band()?);
+        }
+        Ok(Formula::or(parts))
+    }
+}
+
+/// Parses a formula over the given variable names.
+///
+/// # Errors
+///
+/// Returns [`FormulaParseError`] on syntax errors or unknown variables.
+pub fn parse_formula(src: &str, names: &[String]) -> Result<Formula, FormulaParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0, names };
+    let f = p.bexpr()?;
+    if p.pos != p.toks.len() {
+        return p.err("trailing input after formula");
+    }
+    Ok(f)
+}
+
+/// Parses a bare polynomial expression over the given variable names.
+///
+/// # Errors
+///
+/// Returns [`FormulaParseError`] on syntax errors or unknown variables.
+pub fn parse_poly(src: &str, names: &[String]) -> Result<Poly, FormulaParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0, names };
+    let poly = p.expr()?;
+    if p.pos != p.toks.len() {
+        return p.err("trailing input after expression");
+    }
+    Ok(poly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_polynomial_equality() {
+        let ns = names(&["x", "n"]);
+        let f = parse_formula("x == n^3", &ns).unwrap();
+        assert!(f.eval_i128(&[8, 2]));
+        assert!(!f.eval_i128(&[9, 2]));
+    }
+
+    #[test]
+    fn parses_rational_coefficients() {
+        let ns = names(&["x", "y"]);
+        // 2x - y/2 == 0 at (1, 4)
+        let f = parse_formula("2*x - y/2 == 0", &ns).unwrap();
+        assert!(f.eval_i128(&[1, 4]));
+    }
+
+    #[test]
+    fn parses_connectives_and_negation() {
+        let ns = names(&["a", "n"]);
+        let f = parse_formula("a^2 <= n && !(n < 0) || false", &ns).unwrap();
+        assert!(f.eval_i128(&[3, 10]));
+        assert!(!f.eval_i128(&[4, 10]));
+    }
+
+    #[test]
+    fn call_shaped_terms() {
+        let ns = names(&["a", "b", "gcd(a,b)"]);
+        let f = parse_formula("gcd(a, b) == 3 && a >= b", &ns).unwrap();
+        assert!(f.eval_i128(&[9, 6, 3]));
+        assert!(!f.eval_i128(&[9, 6, 4]));
+    }
+
+    #[test]
+    fn paren_disambiguation() {
+        let ns = names(&["x", "y"]);
+        let arith = parse_formula("(x + y) * 2 == 6", &ns).unwrap();
+        assert!(arith.eval_i128(&[1, 2]));
+        let boolean = parse_formula("((x == 1) || (y == 2)) && true", &ns).unwrap();
+        assert!(boolean.eval_i128(&[1, 0]));
+        assert!(boolean.eval_i128(&[0, 2]));
+        assert!(!boolean.eval_i128(&[0, 0]));
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let err = parse_formula("q == 0", &names(&["x"])).unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse_formula("x == 0 x", &names(&["x"])).unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn power_and_unary_minus() {
+        let ns = names(&["y"]);
+        let p = parse_poly("-y^2 + 3*y - 1", &ns).unwrap();
+        assert_eq!(p.eval_f64(&[2.0]), 1.0);
+    }
+
+    #[test]
+    fn nonsense_rejected() {
+        assert!(parse_formula("&& x", &names(&["x"])).is_err());
+        assert!(parse_formula("x ==", &names(&["x"])).is_err());
+        assert!(parse_formula("x @ 0", &names(&["x"])).is_err());
+    }
+
+    #[test]
+    fn ps4_ground_truth_parses() {
+        // The paper's Fig. 8 invariant: 4x == y^4 + 2y^3 + y^2 && y <= k.
+        let ns = names(&["x", "y", "k"]);
+        let f = parse_formula("4*x == y^4 + 2*y^3 + y^2 && y <= k", &ns).unwrap();
+        // After 2 iterations: y=2, x = 1 + 8 = 9 -> 36 = 16 + 16 + 4 = 36.
+        assert!(f.eval_i128(&[9, 2, 5]));
+    }
+}

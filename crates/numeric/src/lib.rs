@@ -1,0 +1,40 @@
+//! # gcln-numeric — exact arithmetic substrate for the G-CLN reproduction
+//!
+//! Everything in the invariant-inference pipeline that must be *exact* lives
+//! here:
+//!
+//! - [`Rat`]: overflow-checked `i128` rationals, including the
+//!   continued-fraction rounding ([`Rat::approximate`]) used when extracting
+//!   invariant coefficients from trained network weights (paper §3).
+//! - [`Matrix`]: rational linear algebra (RREF, rank, null space). The null
+//!   space of a trace-data matrix is exactly the space of polynomial
+//!   equality invariants over the chosen terms — this powers the
+//!   Guess-and-Check baseline and validates the G-CLN's Gaussian neurons.
+//! - [`poly`]: multivariate polynomials with grevlex ordering,
+//!   substitution (loop-body composition) and evaluation.
+//! - [`groebner`]: Buchberger's algorithm and ideal-membership testing,
+//!   the symbolic half of the invariant checker (our Z3 substitute for
+//!   equality conjuncts).
+//!
+//! # Examples
+//!
+//! Recover a loop invariant from trace data by exact null-space computation:
+//!
+//! ```
+//! use gcln_numeric::{Matrix, Rat};
+//! // Samples of (1, n, x) from a loop maintaining x = 3n + 2.
+//! let rows: Vec<Vec<Rat>> = (0..4).map(|n| {
+//!     vec![Rat::from(1), Rat::from(n), Rat::from(3 * n + 2)]
+//! }).collect();
+//! let kernel = Matrix::from_rows(rows).null_space();
+//! assert_eq!(kernel.len(), 1); // 2 + 3n - x = 0
+//! ```
+
+pub mod groebner;
+pub mod linalg;
+pub mod poly;
+pub mod rat;
+
+pub use linalg::Matrix;
+pub use poly::{Monomial, Poly};
+pub use rat::Rat;

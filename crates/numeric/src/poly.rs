@@ -1,0 +1,643 @@
+//! Multivariate polynomials over [`Rat`].
+//!
+//! These power the symbolic half of the invariant checker: loop bodies whose
+//! updates are polynomial maps are composed into candidate invariants by
+//! substitution ([`Poly::subst`]), and inductiveness is decided by ideal
+//! membership over a Gröbner basis (see [`crate::groebner`]).
+//!
+//! Monomials are exponent vectors over a fixed arity; the term order is
+//! graded reverse lexicographic (grevlex), the usual default for Gröbner
+//! computations.
+
+use crate::rat::Rat;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monomial: an exponent vector over `arity` variables.
+///
+/// The `Ord` implementation is **grevlex**: compare total degree first, then
+/// reverse-lexicographically on reversed exponents.
+///
+/// # Examples
+///
+/// ```
+/// use gcln_numeric::poly::Monomial;
+/// let xy = Monomial::new(vec![1, 1, 0]);
+/// let z2 = Monomial::new(vec![0, 0, 2]);
+/// assert_eq!(xy.degree(), 2);
+/// assert!(z2 < xy); // same degree; grevlex prefers earlier variables
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Monomial {
+    exps: Vec<u32>,
+}
+
+impl Monomial {
+    /// Creates a monomial from an exponent vector.
+    pub fn new(exps: Vec<u32>) -> Monomial {
+        Monomial { exps }
+    }
+
+    /// The constant monomial `1` over `arity` variables.
+    pub fn one(arity: usize) -> Monomial {
+        Monomial { exps: vec![0; arity] }
+    }
+
+    /// The monomial `x_i` over `arity` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= arity`.
+    pub fn var(i: usize, arity: usize) -> Monomial {
+        assert!(i < arity, "variable index out of range");
+        let mut exps = vec![0; arity];
+        exps[i] = 1;
+        Monomial { exps }
+    }
+
+    /// The exponent vector.
+    pub fn exps(&self) -> &[u32] {
+        &self.exps
+    }
+
+    /// Number of variables this monomial ranges over.
+    pub fn arity(&self) -> usize {
+        self.exps.len()
+    }
+
+    /// Total degree.
+    pub fn degree(&self) -> u32 {
+        self.exps.iter().sum()
+    }
+
+    /// Whether this is the constant monomial.
+    pub fn is_one(&self) -> bool {
+        self.exps.iter().all(|&e| e == 0)
+    }
+
+    /// Product of two monomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities differ.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        assert_eq!(self.arity(), other.arity(), "arity mismatch");
+        Monomial { exps: self.exps.iter().zip(&other.exps).map(|(a, b)| a + b).collect() }
+    }
+
+    /// Whether `self` divides `other` (componentwise ≤).
+    pub fn divides(&self, other: &Monomial) -> bool {
+        self.arity() == other.arity() && self.exps.iter().zip(&other.exps).all(|(a, b)| a <= b)
+    }
+
+    /// The quotient `other / self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` does not divide `other`.
+    pub fn quotient(&self, other: &Monomial) -> Monomial {
+        assert!(self.divides(other), "monomial division is not exact");
+        Monomial { exps: other.exps.iter().zip(&self.exps).map(|(b, a)| b - a).collect() }
+    }
+
+    /// Least common multiple (componentwise max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities differ.
+    pub fn lcm(&self, other: &Monomial) -> Monomial {
+        assert_eq!(self.arity(), other.arity(), "arity mismatch");
+        Monomial { exps: self.exps.iter().zip(&other.exps).map(|(a, b)| *a.max(b)).collect() }
+    }
+
+    /// Evaluates at a rational point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.arity()`.
+    pub fn eval(&self, point: &[Rat]) -> Rat {
+        assert_eq!(point.len(), self.arity(), "point arity mismatch");
+        self.exps
+            .iter()
+            .zip(point)
+            .fold(Rat::ONE, |acc, (&e, x)| acc * x.pow(e as i32))
+    }
+
+    /// Evaluates at an `f64` point.
+    pub fn eval_f64(&self, point: &[f64]) -> f64 {
+        self.exps
+            .iter()
+            .zip(point)
+            .fold(1.0, |acc, (&e, x)| acc * x.powi(e as i32))
+    }
+
+    /// Renders with the given variable names, e.g. `x^2*y`.
+    pub fn display<'a>(&'a self, names: &'a [String]) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Monomial, &'a [String]);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0.is_one() {
+                    return write!(f, "1");
+                }
+                let mut first = true;
+                for (i, &e) in self.0.exps.iter().enumerate() {
+                    if e == 0 {
+                        continue;
+                    }
+                    if !first {
+                        write!(f, "*")?;
+                    }
+                    first = false;
+                    let name = self.1.get(i).map(String::as_str).unwrap_or("?");
+                    if e == 1 {
+                        write!(f, "{name}")?;
+                    } else {
+                        write!(f, "{name}^{e}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+        D(self, names)
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    /// Grevlex: higher total degree wins; ties broken by the *smallest*
+    /// exponent on the *last* variable where they differ.
+    fn cmp(&self, other: &Self) -> Ordering {
+        debug_assert_eq!(self.arity(), other.arity(), "comparing monomials of different arity");
+        match self.degree().cmp(&other.degree()) {
+            Ordering::Equal => {
+                for (a, b) in self.exps.iter().zip(&other.exps).rev() {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        Ordering::Less => return Ordering::Greater,
+                        Ordering::Greater => return Ordering::Less,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+/// A multivariate polynomial with [`Rat`] coefficients over a fixed arity.
+///
+/// Zero-coefficient terms are never stored; the zero polynomial has an empty
+/// term map.
+///
+/// # Examples
+///
+/// ```
+/// use gcln_numeric::{poly::Poly, Rat};
+/// // p = x^2 - y over (x, y)
+/// let x = Poly::var(0, 2);
+/// let y = Poly::var(1, 2);
+/// let p = x.clone() * x.clone() - y.clone();
+/// assert_eq!(p.eval(&[Rat::from(3), Rat::from(9)]), Rat::ZERO);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Poly {
+    arity: usize,
+    terms: BTreeMap<Monomial, Rat>,
+}
+
+impl Poly {
+    /// The zero polynomial over `arity` variables.
+    pub fn zero(arity: usize) -> Poly {
+        Poly { arity, terms: BTreeMap::new() }
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Rat, arity: usize) -> Poly {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::one(arity), c);
+        }
+        Poly { arity, terms }
+    }
+
+    /// The polynomial `x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= arity`.
+    pub fn var(i: usize, arity: usize) -> Poly {
+        Poly::from_monomial(Monomial::var(i, arity), Rat::ONE)
+    }
+
+    /// A single-term polynomial `c * m`.
+    pub fn from_monomial(m: Monomial, c: Rat) -> Poly {
+        let arity = m.arity();
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(m, c);
+        }
+        Poly { arity, terms }
+    }
+
+    /// Builds a polynomial from `(coefficient, monomial)` pairs, combining
+    /// duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if monomial arities are inconsistent with `arity`.
+    pub fn from_terms(arity: usize, terms: impl IntoIterator<Item = (Rat, Monomial)>) -> Poly {
+        let mut p = Poly::zero(arity);
+        for (c, m) in terms {
+            assert_eq!(m.arity(), arity, "monomial arity mismatch");
+            p.add_term(c, m);
+        }
+        p
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether this polynomial is a constant (including zero).
+    pub fn is_constant(&self) -> bool {
+        self.terms.keys().all(Monomial::is_one)
+    }
+
+    /// Total degree (zero polynomial has degree 0).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Iterates over `(monomial, coefficient)` pairs in ascending grevlex order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, &Rat)> {
+        self.terms.iter()
+    }
+
+    /// Number of nonzero terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The leading (grevlex-largest) term, or `None` for the zero polynomial.
+    pub fn leading_term(&self) -> Option<(&Monomial, &Rat)> {
+        self.terms.iter().next_back()
+    }
+
+    /// Coefficient of a monomial (zero if absent).
+    pub fn coeff(&self, m: &Monomial) -> Rat {
+        self.terms.get(m).copied().unwrap_or(Rat::ZERO)
+    }
+
+    /// Adds `c * m` into the polynomial.
+    pub fn add_term(&mut self, c: Rat, m: Monomial) {
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(m).or_insert(Rat::ZERO);
+        *entry += c;
+        if entry.is_zero() {
+            // Re-borrow to remove; find the key we just zeroed.
+            let key = self
+                .terms
+                .iter()
+                .find(|(_, v)| v.is_zero())
+                .map(|(k, _)| k.clone());
+            if let Some(k) = key {
+                self.terms.remove(&k);
+            }
+        }
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, c: Rat) -> Poly {
+        if c.is_zero() {
+            return Poly::zero(self.arity);
+        }
+        Poly {
+            arity: self.arity,
+            terms: self.terms.iter().map(|(m, v)| (m.clone(), *v * c)).collect(),
+        }
+    }
+
+    /// Multiplies by a single term `c * m`.
+    pub fn mul_term(&self, c: Rat, m: &Monomial) -> Poly {
+        if c.is_zero() {
+            return Poly::zero(self.arity);
+        }
+        Poly {
+            arity: self.arity,
+            terms: self.terms.iter().map(|(mm, v)| (mm.mul(m), *v * c)).collect(),
+        }
+    }
+
+    /// Evaluates at a rational point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.arity()`.
+    pub fn eval(&self, point: &[Rat]) -> Rat {
+        self.terms
+            .iter()
+            .fold(Rat::ZERO, |acc, (m, c)| acc + *c * m.eval(point))
+    }
+
+    /// Evaluates at an `f64` point.
+    pub fn eval_f64(&self, point: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .fold(0.0, |acc, (m, c)| acc + c.to_f64() * m.eval_f64(point))
+    }
+
+    /// Substitutes each variable `x_i` with `subs[i]` (polynomial
+    /// composition). All `subs` must share an arity, which becomes the
+    /// arity of the result.
+    ///
+    /// This is how a loop-body transition `V := T(V)` is applied to a
+    /// candidate invariant `p`: `p.subst(&T)` is `p ∘ T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs.len() != self.arity()` or `subs` is empty with
+    /// nonzero arity.
+    pub fn subst(&self, subs: &[Poly]) -> Poly {
+        assert_eq!(subs.len(), self.arity, "substitution arity mismatch");
+        let out_arity = subs.first().map_or(self.arity, Poly::arity);
+        assert!(subs.iter().all(|s| s.arity() == out_arity), "inconsistent substitution arities");
+        let mut result = Poly::zero(out_arity);
+        for (m, c) in &self.terms {
+            let mut term = Poly::constant(*c, out_arity);
+            for (i, &e) in m.exps().iter().enumerate() {
+                for _ in 0..e {
+                    term = &term * &subs[i];
+                }
+            }
+            result = &result + &term;
+        }
+        result
+    }
+
+    /// The greatest common monomial divisor of all terms (the "monomial
+    /// content"), e.g. `n` for `2na − nt + n`. Returns the constant
+    /// monomial for the zero polynomial.
+    pub fn monomial_content(&self) -> Monomial {
+        let mut iter = self.terms.keys();
+        let Some(first) = iter.next() else {
+            return Monomial::one(self.arity);
+        };
+        let mut exps = first.exps().to_vec();
+        for m in iter {
+            for (e, &o) in exps.iter_mut().zip(m.exps()) {
+                *e = (*e).min(o);
+            }
+        }
+        Monomial::new(exps)
+    }
+
+    /// Divides every term by a monomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some term is not divisible by `m`.
+    pub fn div_monomial(&self, m: &Monomial) -> Poly {
+        let mut out = Poly::zero(self.arity);
+        for (mm, c) in &self.terms {
+            out.add_term(*c, m.quotient(mm));
+        }
+        out
+    }
+
+    /// Divides out the content: scales so coefficients are coprime integers
+    /// with a positive leading coefficient. Keeps Gröbner intermediates
+    /// small and makes invariant output canonical.
+    pub fn normalize_content(&self) -> Poly {
+        if self.is_zero() {
+            return self.clone();
+        }
+        let coeffs: Vec<Rat> = self.terms.values().copied().collect();
+        let ints = crate::linalg::integerize(coeffs);
+        let mut terms = BTreeMap::new();
+        for ((m, _), c) in self.terms.iter().zip(ints) {
+            terms.insert(m.clone(), c);
+        }
+        let mut p = Poly { arity: self.arity, terms };
+        if let Some((_, c)) = p.leading_term() {
+            if c.is_negative() {
+                p = p.scale(-Rat::ONE);
+            }
+        }
+        p
+    }
+
+    /// Renders with variable names.
+    pub fn display<'a>(&'a self, names: &'a [String]) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Poly, &'a [String]);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0.is_zero() {
+                    return write!(f, "0");
+                }
+                // Descending order reads more naturally.
+                for (i, (m, c)) in self.0.terms.iter().rev().enumerate() {
+                    let (sign, mag) = if c.is_negative() { ("-", -*c) } else { ("+", *c) };
+                    if i == 0 {
+                        if sign == "-" {
+                            write!(f, "-")?;
+                        }
+                    } else {
+                        write!(f, " {sign} ")?;
+                    }
+                    if m.is_one() {
+                        write!(f, "{mag}")?;
+                    } else if mag == Rat::ONE {
+                        write!(f, "{}", m.display(self.1))?;
+                    } else {
+                        write!(f, "{mag}*{}", m.display(self.1))?;
+                    }
+                }
+                Ok(())
+            }
+        }
+        D(self, names)
+    }
+}
+
+impl std::ops::Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        assert_eq!(self.arity, rhs.arity, "arity mismatch");
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(*c, m.clone());
+        }
+        out
+    }
+}
+
+impl std::ops::Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        assert_eq!(self.arity, rhs.arity, "arity mismatch");
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(-*c, m.clone());
+        }
+        out
+    }
+}
+
+impl std::ops::Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        assert_eq!(self.arity, rhs.arity, "arity mismatch");
+        let mut out = Poly::zero(self.arity);
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &rhs.terms {
+                out.add_term(*c1 * *c2, m1.mul(m2));
+            }
+        }
+        out
+    }
+}
+
+impl std::ops::Neg for &Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        self.scale(-Rat::ONE)
+    }
+}
+
+macro_rules! owned_ops {
+    ($($trait:ident :: $method:ident),*) => {$(
+        impl std::ops::$trait for Poly {
+            type Output = Poly;
+            fn $method(self, rhs: Poly) -> Poly {
+                std::ops::$trait::$method(&self, &rhs)
+            }
+        }
+    )*};
+}
+owned_ops!(Add::add, Sub::sub, Mul::mul);
+
+impl std::ops::Neg for Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        -&self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rat {
+        Rat::integer(n)
+    }
+
+    #[test]
+    fn monomial_grevlex_order() {
+        // Over (x, y): deg ordering first.
+        let one = Monomial::one(2);
+        let x = Monomial::var(0, 2);
+        let y = Monomial::var(1, 2);
+        let x2 = x.mul(&x);
+        let xy = x.mul(&y);
+        let y2 = y.mul(&y);
+        assert!(one < x && x > y && x2 > xy && xy > y2);
+        let mut v = vec![y2.clone(), x2.clone(), one.clone(), xy.clone()];
+        v.sort();
+        assert_eq!(v, vec![one, y2, xy, x2]);
+    }
+
+    #[test]
+    fn monomial_divides_quotient() {
+        let xy = Monomial::new(vec![1, 1]);
+        let x2y3 = Monomial::new(vec![2, 3]);
+        assert!(xy.divides(&x2y3));
+        assert_eq!(xy.quotient(&x2y3), Monomial::new(vec![1, 2]));
+        assert!(!x2y3.divides(&xy));
+    }
+
+    #[test]
+    fn poly_arithmetic() {
+        let x = Poly::var(0, 2);
+        let y = Poly::var(1, 2);
+        let p = &x + &y; // x + y
+        let q = &x - &y; // x - y
+        let prod = &p * &q; // x^2 - y^2
+        let expected = &(&x * &x) - &(&y * &y);
+        assert_eq!(prod, expected);
+        assert_eq!((&p - &p).is_zero(), true);
+    }
+
+    #[test]
+    fn poly_eval() {
+        // p = 2x^2 - 3y + 1
+        let x = Poly::var(0, 2);
+        let y = Poly::var(1, 2);
+        let p = &(&(&x * &x).scale(r(2)) - &y.scale(r(3))) + &Poly::constant(r(1), 2);
+        assert_eq!(p.eval(&[r(2), r(3)]), r(0));
+        assert_eq!(p.eval_f64(&[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn poly_subst_composes_loop_body() {
+        // Invariant p = x - n^2 over (n, x); body: n' = n+1, x' = x + 2n + 1.
+        let n = Poly::var(0, 2);
+        let x = Poly::var(1, 2);
+        let p = &x - &(&n * &n);
+        let n1 = &n + &Poly::constant(r(1), 2);
+        let x1 = &(&x + &n.scale(r(2))) + &Poly::constant(r(1), 2);
+        let p_next = p.subst(&[n1, x1]);
+        // p ∘ T = (x + 2n + 1) - (n+1)^2 = x - n^2 = p, so difference is 0.
+        assert!((&p_next - &p).is_zero());
+    }
+
+    #[test]
+    fn normalize_content() {
+        let x = Poly::var(0, 1);
+        let p = &x.scale(Rat::new(-2, 3)) + &Poly::constant(Rat::new(4, 3), 1);
+        let n = p.normalize_content();
+        // Leading coefficient positive, coprime integers: x - 2.
+        let expected = &x - &Poly::constant(r(2), 1);
+        assert_eq!(n, expected);
+    }
+
+    #[test]
+    fn display_readable() {
+        let names: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        let x = Poly::var(0, 2);
+        let y = Poly::var(1, 2);
+        let p = &(&(&x * &x) - &y.scale(r(3))) + &Poly::constant(r(1), 2);
+        assert_eq!(p.display(&names).to_string(), "x^2 - 3*y + 1");
+        assert_eq!(Poly::zero(2).display(&names).to_string(), "0");
+    }
+
+    #[test]
+    fn add_term_cancellation_removes_entry() {
+        let mut p = Poly::var(0, 1);
+        p.add_term(r(-1), Monomial::var(0, 1));
+        assert!(p.is_zero());
+        assert_eq!(p.num_terms(), 0);
+    }
+
+    #[test]
+    fn leading_term_is_grevlex_max() {
+        let x = Poly::var(0, 2);
+        let y = Poly::var(1, 2);
+        let p = &(&x * &x) + &(&y + &Poly::constant(r(5), 2));
+        let (m, _) = p.leading_term().unwrap();
+        assert_eq!(m, &Monomial::new(vec![2, 0]));
+    }
+}

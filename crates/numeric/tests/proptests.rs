@@ -1,0 +1,209 @@
+//! Property-based tests for the exact-arithmetic substrate.
+
+use gcln_numeric::groebner::{normal_form, GroebnerLimits};
+use gcln_numeric::linalg::integerize;
+use gcln_numeric::poly::{Monomial, Poly};
+use gcln_numeric::{Matrix, Rat};
+use proptest::prelude::*;
+
+fn small_rat() -> impl Strategy<Value = Rat> {
+    (-50i128..=50, 1i128..=12).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+fn small_poly(arity: usize) -> impl Strategy<Value = Poly> {
+    let term = (
+        -9i128..=9,
+        proptest::collection::vec(0u32..=2, arity),
+    );
+    proptest::collection::vec(term, 0..5).prop_map(move |terms| {
+        Poly::from_terms(
+            arity,
+            terms
+                .into_iter()
+                .map(|(c, exps)| (Rat::integer(c), Monomial::new(exps))),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn rat_addition_commutes(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rat_addition_associates(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rat_multiplication_distributes(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rat_additive_inverse(a in small_rat()) {
+        prop_assert_eq!(a + (-a), Rat::ZERO);
+    }
+
+    #[test]
+    fn rat_multiplicative_inverse(a in small_rat()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a * a.recip(), Rat::ONE);
+    }
+
+    #[test]
+    fn rat_order_matches_f64(a in small_rat(), b in small_rat()) {
+        // Small rationals are exactly representable in f64, so orders agree.
+        let exact = a.cmp(&b);
+        let float = a.to_f64().partial_cmp(&b.to_f64()).unwrap();
+        prop_assert_eq!(exact, float);
+    }
+
+    #[test]
+    fn rat_approximate_recovers_exact_fractions(n in -30i128..=30, d in 1i128..=10) {
+        let r = Rat::new(n, d);
+        let approx = Rat::approximate(r.to_f64(), 10).unwrap();
+        prop_assert_eq!(approx, r);
+    }
+
+    #[test]
+    fn rat_approximate_is_best(x in -5.0f64..5.0, max_den in 1i128..=15) {
+        let approx = Rat::approximate(x, max_den).unwrap();
+        let err = (x - approx.to_f64()).abs();
+        // No fraction with denominator <= max_den is strictly closer.
+        for d in 1..=max_den {
+            let n = (x * d as f64).round() as i128;
+            let cand = Rat::new(n, d);
+            prop_assert!(
+                (x - cand.to_f64()).abs() >= err - 1e-12,
+                "candidate {} beats {}", cand, approx
+            );
+        }
+    }
+
+    #[test]
+    fn rat_floor_ceil_bracket(a in small_rat()) {
+        let f = Rat::integer(a.floor());
+        let c = Rat::integer(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(c - f <= Rat::ONE);
+    }
+
+    #[test]
+    fn rat_parse_display_roundtrip(a in small_rat()) {
+        prop_assert_eq!(a.to_string().parse::<Rat>().unwrap(), a);
+    }
+
+    #[test]
+    fn poly_ring_commutative(p in small_poly(3), q in small_poly(3)) {
+        prop_assert_eq!(&p * &q, &q * &p);
+        prop_assert_eq!(&p + &q, &q + &p);
+    }
+
+    #[test]
+    fn poly_mul_distributes(p in small_poly(2), q in small_poly(2), r in small_poly(2)) {
+        prop_assert_eq!(&p * &(&q + &r), &(&p * &q) + &(&p * &r));
+    }
+
+    #[test]
+    fn poly_eval_is_ring_hom(
+        p in small_poly(2),
+        q in small_poly(2),
+        x in -5i128..=5,
+        y in -5i128..=5,
+    ) {
+        let pt = [Rat::integer(x), Rat::integer(y)];
+        prop_assert_eq!((&p + &q).eval(&pt), p.eval(&pt) + q.eval(&pt));
+        prop_assert_eq!((&p * &q).eval(&pt), p.eval(&pt) * q.eval(&pt));
+    }
+
+    #[test]
+    fn poly_subst_then_eval_is_eval_composed(
+        p in small_poly(2),
+        x in -3i128..=3,
+        y in -3i128..=3,
+    ) {
+        // Substitute x -> x + y, y -> x*y and compare with direct evaluation.
+        let vx = Poly::var(0, 2);
+        let vy = Poly::var(1, 2);
+        let subs = [&vx + &vy, &vx * &vy];
+        let composed = p.subst(&subs);
+        let pt = [Rat::integer(x), Rat::integer(y)];
+        let inner = [subs[0].eval(&pt), subs[1].eval(&pt)];
+        prop_assert_eq!(composed.eval(&pt), p.eval(&inner));
+    }
+
+    #[test]
+    fn poly_normalize_content_preserves_zero_set(p in small_poly(2), x in -4i128..=4, y in -4i128..=4) {
+        let n = p.normalize_content();
+        let pt = [Rat::integer(x), Rat::integer(y)];
+        prop_assert_eq!(p.eval(&pt).is_zero(), n.eval(&pt).is_zero());
+    }
+
+    #[test]
+    fn normal_form_of_multiple_is_zero(p in small_poly(2), g in small_poly(2)) {
+        prop_assume!(!g.is_zero());
+        let prod = &p * &g;
+        prop_assert!(normal_form(&prod, &[g]).is_zero());
+    }
+
+    #[test]
+    fn normal_form_is_linear(p in small_poly(2), q in small_poly(2), g in small_poly(2)) {
+        prop_assume!(!g.is_zero());
+        let basis = [g];
+        let lhs = normal_form(&(&p + &q), &basis);
+        let rhs = &normal_form(&p, &basis) + &normal_form(&q, &basis);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn null_space_vectors_are_in_kernel(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-6i128..=6, 4), 1..5
+        )
+    ) {
+        let m = Matrix::from_rows(
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Rat::integer).collect())
+                .collect(),
+        );
+        let ns = m.null_space();
+        prop_assert_eq!(m.rank() + ns.len(), m.ncols());
+        for v in &ns {
+            prop_assert!(m.mul_vec(v).iter().all(Rat::is_zero));
+        }
+    }
+
+    #[test]
+    fn integerize_keeps_direction(v in proptest::collection::vec(small_rat(), 1..5)) {
+        let w = integerize(v.clone());
+        prop_assume!(v.iter().any(|r| !r.is_zero()));
+        // w = s * v for some positive or negative rational s: check cross ratios.
+        let i = v.iter().position(|r| !r.is_zero()).unwrap();
+        let scale = w[i] / v[i];
+        prop_assert!(!scale.is_zero());
+        for (a, b) in v.iter().zip(&w) {
+            prop_assert_eq!(*a * scale, *b);
+        }
+        // All integers, coprime.
+        prop_assert!(w.iter().all(Rat::is_integer));
+    }
+
+    #[test]
+    fn groebner_membership_agrees_with_product_construction(
+        g1 in small_poly(2),
+        g2 in small_poly(2),
+        a in small_poly(2),
+        b in small_poly(2),
+    ) {
+        prop_assume!(!g1.is_zero() && !g2.is_zero());
+        prop_assume!(g1.degree() <= 3 && g2.degree() <= 3);
+        // a*g1 + b*g2 is always a member of <g1, g2>.
+        let member = &(&a * &g1) + &(&b * &g2);
+        let limits = GroebnerLimits { max_basis: 60, max_reductions: 2000 };
+        if let Some(result) = gcln_numeric::groebner::ideal_member(&member, &[g1, g2], limits) {
+            prop_assert!(result, "explicit combination not recognized as member");
+        }
+    }
+}

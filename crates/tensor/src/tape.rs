@@ -1,0 +1,625 @@
+//! A batched, tape-based reverse-mode automatic differentiation engine.
+//!
+//! This is the PyTorch substitute for the G-CLN reproduction. The design is
+//! specialized for CLN training:
+//!
+//! - Every tape node carries a *batch vector* of values: either one value
+//!   per training sample (length `B`) or a single broadcast scalar
+//!   (length 1). Binary operations broadcast `1 × B → B`.
+//! - Graphs are built **once** per training attempt and then re-evaluated
+//!   every epoch with fresh parameter values ([`Tape::forward`] /
+//!   [`Tape::backward`]), so the graph size is `O(model)`, not
+//!   `O(model × epochs)`.
+//! - The op set is exactly what CLN relaxations need: field arithmetic,
+//!   `exp`, powers, a piecewise selector for the PBQU activation, and
+//!   clamped gates.
+//!
+//! # Examples
+//!
+//! Differentiate `f(w) = Σ_batch (w·x − y)²` (least squares):
+//!
+//! ```
+//! use gcln_tensor::tape::Tape;
+//! let mut t = Tape::new();
+//! let x = t.input(0);
+//! let y = t.input(1);
+//! let w = t.param(0);
+//! let wx = t.mul(w, x);
+//! let err = t.sub(wx, y);
+//! let sq = t.square(err);
+//! let loss = t.sum_batch(sq);
+//! let inputs = vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]];
+//! let mut params = vec![0.0];
+//! let (val, grads) = t.eval_with_grad(loss, &inputs, &params);
+//! assert!(val > 0.0);
+//! params[0] -= 0.01 * grads[0]; // one gradient-descent step reduces the loss
+//! let (val2, _) = t.eval_with_grad(loss, &inputs, &params);
+//! assert!(val2 < val);
+//! ```
+
+/// Handle to a node in a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+impl Var {
+    /// The node index inside its tape.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// External batched input column.
+    Input(usize),
+    /// Learnable scalar parameter.
+    Param(usize),
+    /// Immutable scalar constant.
+    Const(f64),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    Neg(Var),
+    Exp(Var),
+    Square(Var),
+    Recip(Var),
+    /// Elementwise selection: `if cond >= 0 { a } else { b }`.
+    ///
+    /// The gradient flows only through the selected branch (the condition
+    /// is treated as non-differentiable, like a comparison).
+    SelectNonneg { cond: Var, nonneg: Var, neg: Var },
+    /// Hard clamp to `[0, 1]` with straight-through gradient inside the
+    /// interval and zero outside (used for gate parameters).
+    Clamp01(Var),
+    /// Reduce a batch vector to the scalar sum of its entries.
+    SumBatch(Var),
+    /// Reduce a batch vector to the scalar mean of its entries.
+    MeanBatch(Var),
+}
+
+/// A computation graph with batched reverse-mode differentiation.
+///
+/// See the [module documentation](self) for an example.
+#[derive(Clone, Debug, Default)]
+pub struct Tape {
+    ops: Vec<Op>,
+    /// Scratch: per-node forward values; refreshed by [`Tape::forward`].
+    values: Vec<Vec<f64>>,
+    /// Scratch: per-node adjoints; refreshed by [`Tape::backward`].
+    grads: Vec<Vec<f64>>,
+    num_inputs: usize,
+    num_params: usize,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Tape {
+        Tape::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of distinct input columns referenced.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of distinct parameters referenced.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    fn push(&mut self, op: Op) -> Var {
+        self.ops.push(op);
+        Var(self.ops.len() - 1)
+    }
+
+    /// Records a reference to external input column `idx`.
+    pub fn input(&mut self, idx: usize) -> Var {
+        self.num_inputs = self.num_inputs.max(idx + 1);
+        self.push(Op::Input(idx))
+    }
+
+    /// Records a reference to learnable parameter `idx`.
+    pub fn param(&mut self, idx: usize) -> Var {
+        self.num_params = self.num_params.max(idx + 1);
+        self.push(Op::Param(idx))
+    }
+
+    /// Records a scalar constant.
+    pub fn constant(&mut self, c: f64) -> Var {
+        self.push(Op::Const(c))
+    }
+
+    /// `a + b` (broadcasting).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        self.push(Op::Add(a, b))
+    }
+
+    /// `a - b` (broadcasting).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        self.push(Op::Sub(a, b))
+    }
+
+    /// `a * b` (broadcasting).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        self.push(Op::Mul(a, b))
+    }
+
+    /// `a / b` (broadcasting).
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        self.push(Op::Div(a, b))
+    }
+
+    /// `-a`.
+    pub fn neg(&mut self, a: Var) -> Var {
+        self.push(Op::Neg(a))
+    }
+
+    /// `exp(a)` elementwise.
+    pub fn exp(&mut self, a: Var) -> Var {
+        self.push(Op::Exp(a))
+    }
+
+    /// `a²` elementwise.
+    pub fn square(&mut self, a: Var) -> Var {
+        self.push(Op::Square(a))
+    }
+
+    /// `1 / a` elementwise.
+    pub fn recip(&mut self, a: Var) -> Var {
+        self.push(Op::Recip(a))
+    }
+
+    /// Elementwise `if cond >= 0 { nonneg } else { neg }`.
+    ///
+    /// Gradient flows only through the branch that was selected.
+    pub fn select_nonneg(&mut self, cond: Var, nonneg: Var, neg: Var) -> Var {
+        self.push(Op::SelectNonneg { cond, nonneg, neg })
+    }
+
+    /// Clamps to `[0, 1]`; gradient passes through where the input is
+    /// strictly inside the interval.
+    pub fn clamp01(&mut self, a: Var) -> Var {
+        self.push(Op::Clamp01(a))
+    }
+
+    /// Sum over the batch dimension, producing a scalar node.
+    pub fn sum_batch(&mut self, a: Var) -> Var {
+        self.push(Op::SumBatch(a))
+    }
+
+    /// Mean over the batch dimension, producing a scalar node.
+    pub fn mean_batch(&mut self, a: Var) -> Var {
+        self.push(Op::MeanBatch(a))
+    }
+
+    /// Convenience: an affine combination `Σ wᵢ·xᵢ + b` where the `wᵢ` and
+    /// `b` are parameter vars and `xᵢ` input vars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != xs.len()`.
+    pub fn affine(&mut self, weights: &[Var], xs: &[Var], bias: Option<Var>) -> Var {
+        assert_eq!(weights.len(), xs.len(), "affine arity mismatch");
+        let mut acc: Option<Var> = bias;
+        for (&w, &x) in weights.iter().zip(xs) {
+            let prod = self.mul(w, x);
+            acc = Some(match acc {
+                Some(a) => self.add(a, prod),
+                None => prod,
+            });
+        }
+        acc.unwrap_or_else(|| self.constant(0.0))
+    }
+
+    /// Runs a forward pass, returning the scalar value of `output`.
+    ///
+    /// `inputs[i]` is the batch column for [`Tape::input`] index `i`; all
+    /// columns must share one length. `params[i]` feeds [`Tape::param`]
+    /// index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input columns are missing/ragged, parameters are missing,
+    /// or `output` does not hold exactly one value (reduce first).
+    pub fn forward(&mut self, output: Var, inputs: &[Vec<f64>], params: &[f64]) -> f64 {
+        assert!(inputs.len() >= self.num_inputs, "missing input columns");
+        assert!(params.len() >= self.num_params, "missing parameters");
+        let batch = inputs.first().map_or(1, Vec::len);
+        assert!(inputs.iter().all(|c| c.len() == batch), "ragged input columns");
+        self.values.resize(self.ops.len(), Vec::new());
+        for i in 0..self.ops.len() {
+            let value = match &self.ops[i] {
+                Op::Input(idx) => inputs[*idx].clone(),
+                Op::Param(idx) => vec![params[*idx]],
+                Op::Const(c) => vec![*c],
+                Op::Add(a, b) => zip_with(&self.values[a.0], &self.values[b.0], |x, y| x + y),
+                Op::Sub(a, b) => zip_with(&self.values[a.0], &self.values[b.0], |x, y| x - y),
+                Op::Mul(a, b) => zip_with(&self.values[a.0], &self.values[b.0], |x, y| x * y),
+                Op::Div(a, b) => zip_with(&self.values[a.0], &self.values[b.0], |x, y| x / y),
+                Op::Neg(a) => self.values[a.0].iter().map(|x| -x).collect(),
+                Op::Exp(a) => self.values[a.0].iter().map(|x| x.exp()).collect(),
+                Op::Square(a) => self.values[a.0].iter().map(|x| x * x).collect(),
+                Op::Recip(a) => self.values[a.0].iter().map(|x| 1.0 / x).collect(),
+                Op::SelectNonneg { cond, nonneg, neg } => {
+                    let c = &self.values[cond.0];
+                    let p = &self.values[nonneg.0];
+                    let n = &self.values[neg.0];
+                    let len = c.len().max(p.len()).max(n.len());
+                    (0..len)
+                        .map(|j| {
+                            if bget(c, j) >= 0.0 {
+                                bget(p, j)
+                            } else {
+                                bget(n, j)
+                            }
+                        })
+                        .collect()
+                }
+                Op::Clamp01(a) => self.values[a.0].iter().map(|x| x.clamp(0.0, 1.0)).collect(),
+                Op::SumBatch(a) => vec![self.values[a.0].iter().sum()],
+                Op::MeanBatch(a) => {
+                    let v = &self.values[a.0];
+                    vec![v.iter().sum::<f64>() / v.len() as f64]
+                }
+            };
+            self.values[i] = value;
+        }
+        let out = &self.values[output.0];
+        assert_eq!(out.len(), 1, "output must be a scalar node; reduce the batch first");
+        out[0]
+    }
+
+    /// Runs a backward pass from `output` (after [`Tape::forward`]),
+    /// returning `∂output/∂paramᵢ` for every parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, output: Var) -> Vec<f64> {
+        assert_eq!(self.values.len(), self.ops.len(), "call forward before backward");
+        self.grads.clear();
+        self.grads
+            .resize_with(self.ops.len(), Vec::new);
+        for (g, v) in self.grads.iter_mut().zip(&self.values) {
+            g.clear();
+            g.resize(v.len(), 0.0);
+        }
+        self.grads[output.0] = vec![1.0];
+        let mut param_grads = vec![0.0; self.num_params];
+        for i in (0..self.ops.len()).rev() {
+            if self.grads[i].iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            let grad = std::mem::take(&mut self.grads[i]);
+            match self.ops[i].clone() {
+                Op::Input(_) | Op::Const(_) => {}
+                Op::Param(idx) => {
+                    param_grads[idx] += grad.iter().sum::<f64>();
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, &grad, |_, g| g);
+                    self.accumulate(b, &grad, |_, g| g);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, &grad, |_, g| g);
+                    self.accumulate(b, &grad, |_, g| -g);
+                }
+                Op::Mul(a, b) => {
+                    let bv = self.values[b.0].clone();
+                    let av = self.values[a.0].clone();
+                    self.accumulate(a, &grad, |j, g| g * bget(&bv, j));
+                    self.accumulate(b, &grad, |j, g| g * bget(&av, j));
+                }
+                Op::Div(a, b) => {
+                    let av = self.values[a.0].clone();
+                    let bv = self.values[b.0].clone();
+                    self.accumulate(a, &grad, |j, g| g / bget(&bv, j));
+                    self.accumulate(b, &grad, |j, g| {
+                        let bj = bget(&bv, j);
+                        -g * bget(&av, j) / (bj * bj)
+                    });
+                }
+                Op::Neg(a) => self.accumulate(a, &grad, |_, g| -g),
+                Op::Exp(a) => {
+                    let out = self.values[i].clone();
+                    self.accumulate(a, &grad, |j, g| g * bget(&out, j));
+                }
+                Op::Square(a) => {
+                    let av = self.values[a.0].clone();
+                    self.accumulate(a, &grad, |j, g| 2.0 * g * bget(&av, j));
+                }
+                Op::Recip(a) => {
+                    let av = self.values[a.0].clone();
+                    self.accumulate(a, &grad, |j, g| {
+                        let x = bget(&av, j);
+                        -g / (x * x)
+                    });
+                }
+                Op::SelectNonneg { cond, nonneg, neg } => {
+                    let cv = self.values[cond.0].clone();
+                    self.accumulate(nonneg, &grad, |j, g| {
+                        if bget(&cv, j) >= 0.0 {
+                            g
+                        } else {
+                            0.0
+                        }
+                    });
+                    self.accumulate(neg, &grad, |j, g| {
+                        if bget(&cv, j) >= 0.0 {
+                            0.0
+                        } else {
+                            g
+                        }
+                    });
+                }
+                Op::Clamp01(a) => {
+                    let av = self.values[a.0].clone();
+                    self.accumulate(a, &grad, |j, g| {
+                        let x = bget(&av, j);
+                        if (0.0..=1.0).contains(&x) {
+                            g
+                        } else {
+                            0.0
+                        }
+                    });
+                }
+                Op::SumBatch(a) => {
+                    let g0 = grad[0];
+                    self.accumulate(a, &vec![g0; self.values[a.0].len()], |_, g| g);
+                }
+                Op::MeanBatch(a) => {
+                    let n = self.values[a.0].len() as f64;
+                    let g0 = grad[0] / n;
+                    self.accumulate(a, &vec![g0; self.values[a.0].len()], |_, g| g);
+                }
+            }
+        }
+        param_grads
+    }
+
+    /// Forward + backward in one call.
+    pub fn eval_with_grad(
+        &mut self,
+        output: Var,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+    ) -> (f64, Vec<f64>) {
+        let v = self.forward(output, inputs, params);
+        let g = self.backward(output);
+        (v, g)
+    }
+
+    /// Reads the forward value of any node after [`Tape::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` has not been run.
+    pub fn value_of(&self, v: Var) -> &[f64] {
+        assert_eq!(self.values.len(), self.ops.len(), "call forward before value_of");
+        &self.values[v.0]
+    }
+
+    /// Adds `f(j, upstream_grad_j)` into the adjoint of `target`,
+    /// reducing over the batch when `target` is a broadcast scalar.
+    fn accumulate(&mut self, target: Var, upstream: &[f64], f: impl Fn(usize, f64) -> f64) {
+        let tlen = self.grads[target.0].len();
+        if tlen == upstream.len() {
+            for (j, &g) in upstream.iter().enumerate() {
+                self.grads[target.0][j] += f(j, g);
+            }
+        } else if tlen == 1 {
+            let mut acc = 0.0;
+            for (j, &g) in upstream.iter().enumerate() {
+                acc += f(j, g);
+            }
+            self.grads[target.0][0] += acc;
+        } else if upstream.len() == 1 {
+            // Scalar gradient flowing into a batch node (e.g. after a reduce
+            // handled above); broadcast.
+            for j in 0..tlen {
+                self.grads[target.0][j] += f(j, upstream[0]);
+            }
+        } else {
+            panic!("gradient shape mismatch: {} vs {}", tlen, upstream.len());
+        }
+    }
+}
+
+fn bget(v: &[f64], j: usize) -> f64 {
+    if v.len() == 1 {
+        v[0]
+    } else {
+        v[j]
+    }
+}
+
+fn zip_with(a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+    match (a.len(), b.len()) {
+        (1, 1) => vec![f(a[0], b[0])],
+        (1, _) => b.iter().map(|&y| f(a[0], y)).collect(),
+        (_, 1) => a.iter().map(|&x| f(x, b[0])).collect(),
+        (n, m) => {
+            assert_eq!(n, m, "batch length mismatch");
+            a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_simple_arithmetic() {
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let w = t.param(0);
+        let prod = t.mul(w, x);
+        let s = t.sum_batch(prod);
+        let v = t.forward(s, &[vec![1.0, 2.0, 3.0]], &[2.0]);
+        assert_eq!(v, 12.0);
+    }
+
+    #[test]
+    fn gradient_of_linear_is_input_sum() {
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let w = t.param(0);
+        let prod = t.mul(w, x);
+        let s = t.sum_batch(prod);
+        let (_, g) = t.eval_with_grad(s, &[vec![1.0, 2.0, 3.0]], &[5.0]);
+        assert_eq!(g, vec![6.0]);
+    }
+
+    #[test]
+    fn gradient_of_square_loss() {
+        // loss = sum((w*x - y)^2); dloss/dw = sum(2*(w*x - y)*x)
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let y = t.input(1);
+        let w = t.param(0);
+        let wx = t.mul(w, x);
+        let e = t.sub(wx, y);
+        let sq = t.square(e);
+        let loss = t.sum_batch(sq);
+        let xs = vec![1.0, 2.0];
+        let ys = vec![3.0, 5.0];
+        let w0 = 1.0;
+        let (v, g) = t.eval_with_grad(loss, &[xs.clone(), ys.clone()], &[w0]);
+        let expect_v: f64 = xs.iter().zip(&ys).map(|(x, y)| (w0 * x - y).powi(2)).sum();
+        let expect_g: f64 = xs.iter().zip(&ys).map(|(x, y)| 2.0 * (w0 * x - y) * x).sum();
+        assert!((v - expect_v).abs() < 1e-12);
+        assert!((g[0] - expect_g).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_and_div_gradients() {
+        // f(a) = exp(a) / (exp(a) + 1): sigmoid; f'(a) = f(1-f)
+        let mut t = Tape::new();
+        let a = t.param(0);
+        let e = t.exp(a);
+        let one = t.constant(1.0);
+        let denom = t.add(e, one);
+        let f = t.div(e, denom);
+        let out = t.sum_batch(f);
+        let (v, g) = t.eval_with_grad(out, &[], &[0.3]);
+        let sig = 1.0 / (1.0 + (-0.3f64).exp());
+        assert!((v - sig).abs() < 1e-12);
+        assert!((g[0] - sig * (1.0 - sig)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_nonneg_routes_values_and_grads() {
+        // f = select(x, w1*x, w2*x): piecewise linear.
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let w1 = t.param(0);
+        let w2 = t.param(1);
+        let pos = t.mul(w1, x);
+        let neg = t.mul(w2, x);
+        let sel = t.select_nonneg(x, pos, neg);
+        let out = t.sum_batch(sel);
+        let xs = vec![-2.0, 3.0];
+        let (v, g) = t.eval_with_grad(out, &[xs], &[10.0, 100.0]);
+        assert_eq!(v, 10.0 * 3.0 + 100.0 * -2.0);
+        assert_eq!(g, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn clamp01_gradient_gates() {
+        let mut t = Tape::new();
+        let a = t.param(0);
+        let c = t.clamp01(a);
+        let out = t.sum_batch(c);
+        let (v, g) = t.eval_with_grad(out, &[], &[0.5]);
+        assert_eq!((v, g[0]), (0.5, 1.0));
+        let (v, g) = t.eval_with_grad(out, &[], &[1.5]);
+        assert_eq!((v, g[0]), (1.0, 0.0));
+        let (v, g) = t.eval_with_grad(out, &[], &[-0.5]);
+        assert_eq!((v, g[0]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn mean_batch_scales_gradient() {
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let w = t.param(0);
+        let p = t.mul(w, x);
+        let m = t.mean_batch(p);
+        let (_, g) = t.eval_with_grad(m, &[vec![2.0, 4.0]], &[1.0]);
+        assert_eq!(g, vec![3.0]);
+    }
+
+    #[test]
+    fn affine_builds_dot_product() {
+        let mut t = Tape::new();
+        let xs: Vec<Var> = (0..3).map(|i| t.input(i)).collect();
+        let ws: Vec<Var> = (0..3).map(|i| t.param(i)).collect();
+        let b = t.param(3);
+        let aff = t.affine(&ws, &xs, Some(b));
+        let out = t.sum_batch(aff);
+        let inputs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let v = t.forward(out, &inputs, &[10.0, 20.0, 30.0, 5.0]);
+        assert_eq!(v, 10.0 + 40.0 + 90.0 + 5.0);
+    }
+
+    #[test]
+    fn value_of_reads_intermediates() {
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let sq = t.square(x);
+        let out = t.sum_batch(sq);
+        t.forward(out, &[vec![2.0, 3.0]], &[]);
+        assert_eq!(t.value_of(sq), &[4.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output must be a scalar")]
+    fn non_scalar_output_panics() {
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let _ = t.forward(x, &[vec![1.0, 2.0]], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_inputs_panic() {
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let y = t.input(1);
+        let s = t.add(x, y);
+        let out = t.sum_batch(s);
+        let _ = t.forward(out, &[vec![1.0], vec![1.0, 2.0]], &[]);
+    }
+
+    #[test]
+    fn graph_reuse_across_param_updates() {
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let w = t.param(0);
+        let p = t.mul(w, x);
+        let e = t.square(p);
+        let loss = t.sum_batch(e);
+        let inputs = vec![vec![1.0, -2.0]];
+        let mut w0 = 3.0;
+        let mut last = f64::INFINITY;
+        for _ in 0..50 {
+            let (v, g) = t.eval_with_grad(loss, &inputs, &[w0]);
+            assert!(v <= last + 1e-9);
+            last = v;
+            w0 -= 0.05 * g[0];
+        }
+        assert!(w0.abs() < 0.1, "descent should drive w toward 0, got {w0}");
+    }
+}

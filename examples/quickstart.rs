@@ -1,0 +1,37 @@
+//! Quickstart: infer a nonlinear loop invariant end to end.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use gcln_repro::gcln::pipeline::{infer_invariants, PipelineConfig};
+use gcln_repro::gcln_lang::parse_program;
+use gcln_repro::gcln_problems::{Problem, Suite};
+
+fn main() {
+    // Any loop program in the C-like surface syntax works; this one sums
+    // odd numbers, so the invariant is x = i² ∧ i ≤ n.
+    let source = "program squares; inputs n; pre n >= 0; post x == n * n;
+                  x = 0; i = 0;
+                  while (i < n) { i = i + 1; x = x + 2 * i - 1; }";
+    let program = parse_program(source).expect("program parses");
+    let problem = Problem {
+        name: "squares".into(),
+        suite: Suite::Linear,
+        source: source.into(),
+        program,
+        max_degree: 2,
+        input_ranges: vec![(0, 20)],
+        ext_terms: vec![],
+        ground_truth: vec![],
+        table_degree: 2,
+        table_vars: 3,
+        expected_solved: true,
+    };
+    let outcome = infer_invariants(&problem, &PipelineConfig::default());
+    let names = problem.extended_names();
+    println!("valid:     {}", outcome.valid);
+    println!("runtime:   {:.1}s", outcome.runtime.as_secs_f64());
+    println!(
+        "invariant: {}",
+        outcome.formula_for(0).expect("loop 0 learned").display(&names)
+    );
+}

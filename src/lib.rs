@@ -1,0 +1,22 @@
+//! # gcln-repro — facade for the G-CLN (PLDI 2020) reproduction
+//!
+//! Re-exports every crate in the workspace so examples and integration
+//! tests can use a single dependency. See the repository `README.md` for a
+//! tour and `DESIGN.md` for the system inventory.
+//!
+//! The interesting entry points:
+//!
+//! - [`gcln::pipeline`] — end-to-end invariant inference (trace → train →
+//!   extract → check → CEGIS).
+//! - [`gcln_problems`] — the 27-problem NLA nonlinear benchmark and the
+//!   124-problem linear suite.
+//! - [`gcln_checker`] — the invariant checker (Z3 substitute).
+
+pub use gcln;
+pub use gcln_baselines;
+pub use gcln_checker;
+pub use gcln_lang;
+pub use gcln_logic;
+pub use gcln_numeric;
+pub use gcln_problems;
+pub use gcln_tensor;

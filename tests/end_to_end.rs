@@ -1,0 +1,83 @@
+//! Cross-crate integration tests: the full workflow of paper Fig. 3 on
+//! representative problems from both suites.
+
+use gcln_repro::gcln::pipeline::{infer_invariants, PipelineConfig};
+use gcln_repro::gcln::GclnConfig;
+use gcln_repro::gcln_checker::{check, equalities_imply, equality_polys, Candidate, CheckerConfig};
+use gcln_repro::gcln_logic::parse_formula;
+use gcln_repro::gcln_numeric::groebner::GroebnerLimits;
+use gcln_repro::gcln_problems::{find_problem, nla::nla_problem, sample_inputs};
+
+fn quick_config() -> PipelineConfig {
+    PipelineConfig {
+        gcln: GclnConfig { max_epochs: 1000, ..GclnConfig::default() },
+        max_attempts: 2,
+        cegis_rounds: 1,
+        max_inputs: 60,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn pipeline_solves_cohencu_end_to_end() {
+    let problem = nla_problem("cohencu").unwrap();
+    let outcome = infer_invariants(&problem, &quick_config());
+    assert!(outcome.valid, "cex: {:?}", outcome.report.counterexamples.first());
+    let names = problem.extended_names();
+    let gt = parse_formula("x == n^3 && y == 3*n^2 + 3*n + 1 && z == 6*n + 6", &names).unwrap();
+    assert_eq!(
+        equalities_imply(
+            outcome.formula_for(0).unwrap(),
+            &equality_polys(&gt),
+            GroebnerLimits::default()
+        ),
+        Some(true)
+    );
+}
+
+#[test]
+fn pipeline_solves_a_linear_problem_per_family() {
+    for name in ["lin-up-03", "lin-acc-05", "lin-branch-02", "lin-nest-02"] {
+        let problem = find_problem(name).unwrap();
+        let outcome = infer_invariants(&problem, &quick_config());
+        assert!(
+            outcome.valid,
+            "{name} rejected: {:?}",
+            outcome.report.counterexamples.first()
+        );
+    }
+}
+
+#[test]
+fn learned_invariants_are_checkable_artifacts() {
+    // The pipeline's output can be re-validated from scratch with the
+    // public checker API (no hidden state).
+    let problem = nla_problem("ps2").unwrap();
+    let outcome = infer_invariants(&problem, &quick_config());
+    let candidates: Vec<Candidate> = outcome
+        .loops
+        .iter()
+        .map(|l| Candidate { loop_id: l.loop_id, formula: l.formula.clone() })
+        .collect();
+    let tuples = sample_inputs(&problem, 50);
+    let extend = |s: &[i128]| problem.extend_state(s);
+    let report = check(&problem.program, &tuples, &extend, &candidates, &CheckerConfig::default());
+    assert!(report.is_valid());
+}
+
+#[test]
+fn ground_truths_accepted_by_checker_via_facade() {
+    for name in ["mannadiv", "geo2", "freire1"] {
+        let problem = nla_problem(name).unwrap();
+        let candidates: Vec<Candidate> = problem
+            .parsed_ground_truth()
+            .into_iter()
+            .map(|(loop_id, formula)| Candidate { loop_id, formula })
+            .collect();
+        let tuples = sample_inputs(&problem, 80);
+        let extend = |s: &[i128]| problem.extend_state(s);
+        let report =
+            check(&problem.program, &tuples, &extend, &candidates, &CheckerConfig::default());
+        assert!(report.is_valid(), "{name}: {:?}", report.counterexamples.first());
+    }
+}
