@@ -8,6 +8,7 @@
 use gcln_baselines::cln::{train_template_cln, ClnTemplate};
 use gcln_bench::solve_status;
 use gcln_problems::find_problem;
+use rayon::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,29 +25,32 @@ fn main() {
     let mut gcln_total = 0.0;
     for name in problems {
         let problem = find_problem(name).expect("problem exists");
-        let mut cln_ok = 0;
-        let mut gcln_ok = 0;
-        for seed in 0..runs {
-            if train_template_cln(&problem, ClnTemplate::for_problem(&problem), seed).converged {
-                cln_ok += 1;
-            }
-            let config = gcln::pipeline::PipelineConfig {
-                gcln: gcln::GclnConfig {
-                    max_epochs: 1000,
+        // Randomized runs are independent (one fixed seed each), so they
+        // fan out across rayon workers; the counts are order-insensitive.
+        let outcomes: Vec<(bool, bool)> = (0..runs as usize)
+            .into_par_iter()
+            .map(|seed| {
+                let seed = seed as u64;
+                let cln = train_template_cln(&problem, ClnTemplate::for_problem(&problem), seed)
+                    .converged;
+                let config = gcln::pipeline::PipelineConfig {
+                    gcln: gcln::GclnConfig {
+                        max_epochs: 1000,
+                        seed,
+                        ..gcln::GclnConfig::default()
+                    },
+                    kernel_completion: false, // pure-model stability, no exact assist
+                    max_attempts: 1,
+                    cegis_rounds: 1,
                     seed,
-                    ..gcln::GclnConfig::default()
-                },
-                kernel_completion: false, // pure-model stability, no exact assist
-                max_attempts: 1,
-                cegis_rounds: 1,
-                seed,
-                ..gcln::pipeline::PipelineConfig::default()
-            };
-            let outcome = gcln::pipeline::infer_invariants(&problem, &config);
-            if solve_status(&problem, &outcome).is_ok() {
-                gcln_ok += 1;
-            }
-        }
+                    ..gcln::pipeline::PipelineConfig::default()
+                };
+                let outcome = gcln::pipeline::infer_invariants(&problem, &config);
+                (cln, solve_status(&problem, &outcome).is_ok())
+            })
+            .collect();
+        let cln_ok = outcomes.iter().filter(|(c, _)| *c).count();
+        let gcln_ok = outcomes.iter().filter(|(_, g)| *g).count();
         let cln_rate = 100.0 * cln_ok as f64 / runs as f64;
         let gcln_rate = 100.0 * gcln_ok as f64 / runs as f64;
         cln_total += cln_rate;

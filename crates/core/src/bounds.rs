@@ -79,7 +79,8 @@ pub fn learn_bounds(
         return Vec::new();
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut results: Vec<LearnedBound> = Vec::new();
+    // Per-subset bound lists, each sorted tightest-first.
+    let mut results: Vec<Vec<LearnedBound>> = Vec::new();
 
     // Term indices by degree (excluding the constant term).
     let deg1: Vec<usize> = (0..space.len())
@@ -116,30 +117,46 @@ pub fn learn_bounds(
         } else {
             train_directions(&subset, columns, config, &mut rng)
         };
+        let mut subset_bounds: Vec<LearnedBound> = Vec::new();
         for dir in directions {
             if let Some(bound) = round_and_tighten(&subset, &dir, space, points, config) {
                 if bound.score >= config.activation_threshold {
-                    results.push(bound);
+                    subset_bounds.push(bound);
                 }
             }
         }
+        subset_bounds
+            .sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        results.push(subset_bounds);
     }
 
-    // Dedup by polynomial, keep the tightest, cap the count.
-    results.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+    // Dedup by polynomial and allocate the cap **round-robin across
+    // subsets** (every subset's best bound is admitted before any subset
+    // places its second): a global score-only cut lets large families of
+    // near-duplicate tight bounds crowd out structurally distinct ones
+    // (e.g. `n - a² >= 0`, whose slack grows with the data range).
     let mut seen: Vec<Poly> = Vec::new();
     let mut out = Vec::new();
-    for b in results {
-        if seen.contains(&b.atom.poly) {
-            continue;
+    let mut rank = 0;
+    loop {
+        let mut any = false;
+        for subset_bounds in &results {
+            let Some(b) = subset_bounds.get(rank) else { continue };
+            any = true;
+            if seen.contains(&b.atom.poly) {
+                continue;
+            }
+            seen.push(b.atom.poly.clone());
+            out.push(b.atom.clone());
+            if out.len() >= config.max_bounds {
+                return out;
+            }
         }
-        seen.push(b.atom.poly.clone());
-        out.push(b.atom);
-        if out.len() >= config.max_bounds {
-            break;
+        if !any {
+            return out;
         }
+        rank += 1;
     }
-    out
 }
 
 /// Trains PBQU neurons (a couple of restarts) on the subset's normalized
@@ -190,6 +207,28 @@ fn train_directions(
     // gradient refinement finds data-specific slopes, while the ±1
     // patterns guarantee the octahedral family survives training noise.
     let mut out = inits.clone();
+    // Small-integer ratio candidates `{1,2}^k × signs`: tight directions
+    // of integer loops often have 2:1 coefficient ratios (e.g. dijkstra's
+    // `r < 2p + q`), which gradient training from ±1 inits does not
+    // reliably reach. Snapping them in as fixed candidates makes that
+    // family deterministic regardless of the RNG stream; rounding and
+    // exact-bias recomputation keep only the ones the data supports.
+    // `mags == 0` (all-1) and `mags == 2^k - 1` (all-2) normalize to the
+    // ±1 sign patterns already in `inits`, so both are skipped.
+    for mags in 1u32..((1 << k) - 1) {
+        for bits in 0..(1u32 << (k - 1)) {
+            let mut w: Vec<f64> = (0..k)
+                .map(|i| {
+                    let mag = if (mags >> i) & 1 == 1 { 2.0 } else { 1.0 };
+                    let sign = if i > 0 && (bits >> (i - 1)) & 1 == 1 { -1.0 } else { 1.0 };
+                    mag * sign
+                })
+                .collect();
+            project_unit_l2(&mut w);
+            out.push(w.clone());
+            out.push(w.iter().map(|x| -x).collect());
+        }
+    }
     for init in inits {
         let mut params: Vec<f64> = init;
         params.push(rng.gen::<f64>() * 0.1);
@@ -269,7 +308,7 @@ fn round_and_tighten(
             continue;
         }
         let poly = scale_to_integer_coeffs(poly);
-        if best.as_ref().map_or(true, |b| score > b.score) {
+        if best.as_ref().is_none_or(|b| score > b.score) {
             best = Some(LearnedBound { atom: Atom::new(poly, Pred::Ge), score });
         }
     }

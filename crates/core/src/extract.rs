@@ -133,7 +133,7 @@ fn round_equality_partial(
             .map(|p| atom_holds_at(&poly, Pred::Eq, p, config.fit_tol))
             .collect();
         let count = cover.iter().filter(|&&b| b).count();
-        if best.as_ref().map_or(true, |(_, _, c)| count > *c) {
+        if best.as_ref().is_none_or(|(_, _, c)| count > *c) {
             best = Some((Atom::new(poly, Pred::Eq), cover, count));
         }
     }

@@ -172,9 +172,9 @@ pub fn train_equality_gcln(columns: &[Vec<f64>], config: &GclnConfig) -> Trained
     let mut clauses = Vec::with_capacity(config.num_clauses);
     let mut masks =
         vec![vec![vec![false; num_terms]; config.literals_per_clause]; config.num_clauses];
-    for ci in 0..config.num_clauses {
+    for clause_masks in masks.iter_mut() {
         let mut literals = Vec::with_capacity(config.literals_per_clause);
-        for li in 0..config.literals_per_clause {
+        for literal_mask in clause_masks.iter_mut() {
             // Term dropout (§5.1.3): predetermined before training; keep
             // at least two terms so a constraint is expressible.
             let mut kept: Vec<usize> = (0..num_terms)
@@ -188,7 +188,7 @@ pub fn train_equality_gcln(columns: &[Vec<f64>], config: &GclnConfig) -> Trained
             }
             kept.sort_unstable();
             for &t in &kept {
-                masks[ci][li][t] = true;
+                literal_mask[t] = true;
             }
             let weight_params = alloc(kept.len());
             let gate_param = alloc(1)[0];
@@ -222,10 +222,10 @@ pub fn train_equality_gcln(columns: &[Vec<f64>], config: &GclnConfig) -> Trained
         for lit in &clause.literals {
             let ws: Vec<Var> = lit.weight_params.iter().map(|&p| tape.param(p)).collect();
             let xs: Vec<Var> = lit.kept_terms.iter().map(|&t| term_inputs[t]).collect();
+            // Fused nodes: `affine` is one tape op for the whole dot
+            // product and `gaussian` one op for exp(−z²/2σ²).
             let z = tape.affine(&ws, &xs, None);
-            let z2 = tape.square(z);
-            let scaled = tape.mul(z2, neg_half_inv_sigma2);
-            let act = tape.exp(scaled);
+            let act = tape.gaussian(z, neg_half_inv_sigma2);
             let gate = tape.param(lit.gate_param);
             let gated = tape.mul(gate, act);
             let factor = tape.sub(one, gated);

@@ -11,6 +11,7 @@ use gcln_checker::{check, Candidate, CheckReport, CheckerConfig};
 use gcln_logic::{Formula, Pred};
 use gcln_numeric::{Poly, Rat};
 use gcln_problems::Problem;
+use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
 /// Pipeline settings; the defaults mirror the paper's §6 configuration
@@ -275,33 +276,45 @@ fn learn_loop(
     // --- equality learning with dropout decay across attempts ---
     // Attempts accumulate the *union* of validated conjuncts: different
     // dropout masks surface different null-space directions (§5.1.3).
-    let mut attempts = 0;
-    for attempt in 0..config.max_attempts.max(1) {
-        attempts = attempt + 1;
-        let dropout = if config.enable_dropout {
-            (0.3 - 0.1 * attempt as f64).max(0.0)
-        } else {
-            0.0
-        };
-        let gcln_cfg = GclnConfig {
-            dropout_rate: dropout,
-            weight_reg: config.enable_weight_reg,
-            seed: config
-                .seed
-                .wrapping_add((attempt as u64) * 7919)
-                .wrapping_add((loop_id as u64) * 104_729)
-                .wrapping_add((round as u64) * 15_485_863),
-            ..config.gcln.clone()
-        };
-        let ds = Dataset::from_points(points.to_vec(), &space, config.normalize);
-        if ds.is_empty() {
-            break;
-        }
-        let model = train_equality_gcln(&ds.columns(), &gcln_cfg);
-        let formula = extract_formula(&model, &space, points, &config.extract);
-        for conjunct in formula.conjuncts() {
-            if !best_eq.contains(conjunct) {
-                best_eq.push(conjunct.clone());
+    //
+    // Each attempt is independent — its seed is a pure function of
+    // `(master seed, attempt, loop, round)` — so the restarts fan out
+    // across rayon workers. Results are merged in attempt order, which
+    // keeps the outcome bit-identical for every `RAYON_NUM_THREADS`.
+    let ds = Dataset::from_points(points.to_vec(), &space, config.normalize);
+    let attempts;
+    if ds.is_empty() {
+        attempts = 1;
+    } else {
+        attempts = config.max_attempts.max(1);
+        let columns = ds.columns();
+        let formulas: Vec<Formula> = (0..attempts)
+            .into_par_iter()
+            .map(|attempt| {
+                let dropout = if config.enable_dropout {
+                    (0.3 - 0.1 * attempt as f64).max(0.0)
+                } else {
+                    0.0
+                };
+                let gcln_cfg = GclnConfig {
+                    dropout_rate: dropout,
+                    weight_reg: config.enable_weight_reg,
+                    seed: config
+                        .seed
+                        .wrapping_add((attempt as u64) * 7919)
+                        .wrapping_add((loop_id as u64) * 104_729)
+                        .wrapping_add((round as u64) * 15_485_863),
+                    ..config.gcln.clone()
+                };
+                let model = train_equality_gcln(&columns, &gcln_cfg);
+                extract_formula(&model, &space, points, &config.extract)
+            })
+            .collect();
+        for formula in formulas {
+            for conjunct in formula.conjuncts() {
+                if !best_eq.contains(conjunct) {
+                    best_eq.push(conjunct.clone());
+                }
             }
         }
     }
@@ -339,8 +352,7 @@ fn learn_loop(
 
     // --- inequality bounds (§5.2.2) ---
     let mut parts = best_eq;
-    if config.learn_inequalities {
-        let ds = Dataset::from_points(points.to_vec(), &space, config.normalize);
+    if config.learn_inequalities && !ds.is_empty() {
         let bound_atoms = learn_bounds(&space, points, &ds.columns(), &config.bounds);
         for atom in bound_atoms {
             if !banned.contains(&bound_direction(&atom.poly)) {
@@ -556,6 +568,34 @@ mod tests {
             Some(true),
             "learned {}",
             formula.display(&names)
+        );
+    }
+
+    /// The parallel attempt fan-out must not perturb results: seeds are
+    /// split per attempt and merges happen in attempt order, so two runs
+    /// (at any `RAYON_NUM_THREADS`) produce identical formulas.
+    #[test]
+    fn parallel_attempts_are_deterministic() {
+        let problem = nla_problem("ps2").unwrap();
+        let cfg = PipelineConfig {
+            gcln: GclnConfig { max_epochs: 800, ..GclnConfig::default() },
+            max_inputs: 40,
+            cegis_rounds: 1,
+            ..PipelineConfig::default()
+        };
+        let names = problem.extended_names();
+        // One serial run, one run at the ambient (usually parallel)
+        // width: the comparison fails if results ever depend on the
+        // worker count. The vendored rayon shim reads the env var per
+        // fan-out, so the override takes effect immediately.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let a = infer_invariants(&problem, &cfg);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let b = infer_invariants(&problem, &cfg);
+        assert_eq!(
+            a.formula_for(0).unwrap().display(&names).to_string(),
+            b.formula_for(0).unwrap().display(&names).to_string(),
+            "serial and parallel runs of the same master seed must give identical invariants"
         );
     }
 

@@ -229,7 +229,7 @@ impl Program {
 
     /// Finds the `While` statement with the given loop id, if any.
     pub fn find_loop(&self, id: usize) -> Option<&Stmt> {
-        fn walk<'a>(stmts: &'a [Stmt], id: usize) -> Option<&'a Stmt> {
+        fn walk(stmts: &[Stmt], id: usize) -> Option<&Stmt> {
             for s in stmts {
                 match s {
                     Stmt::While { id: lid, body, .. } => {

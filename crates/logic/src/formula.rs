@@ -338,7 +338,7 @@ mod tests {
     #[test]
     fn pred_holds_trichotomy() {
         for v in [-2, 0, 3].map(r) {
-            assert_eq!(Pred::Lt.holds(v) || Pred::Eq.holds(v) || Pred::Gt.holds(v), true);
+            assert!(Pred::Lt.holds(v) || Pred::Eq.holds(v) || Pred::Gt.holds(v));
             assert_eq!(Pred::Le.holds(v), !Pred::Gt.holds(v));
             assert_eq!(Pred::Ge.holds(v), !Pred::Lt.holds(v));
             assert_eq!(Pred::Ne.holds(v), !Pred::Eq.holds(v));

@@ -578,7 +578,7 @@ mod tests {
         let prod = &p * &q; // x^2 - y^2
         let expected = &(&x * &x) - &(&y * &y);
         assert_eq!(prod, expected);
-        assert_eq!((&p - &p).is_zero(), true);
+        assert!((&p - &p).is_zero());
     }
 
     #[test]

@@ -165,7 +165,7 @@ impl Rat {
         let mut e = exp as u32;
         while e > 0 {
             if e & 1 == 1 {
-                result = result * base;
+                result *= base;
             }
             e >>= 1;
             if e > 0 {
@@ -418,6 +418,7 @@ impl Div for Rat {
     type Output = Rat;
     /// # Panics
     /// Panics when dividing by zero or on overflow.
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via exact reciprocal
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }

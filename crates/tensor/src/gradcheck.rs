@@ -96,6 +96,66 @@ mod tests {
     }
 
     #[test]
+    fn checks_fused_affine() {
+        // f(w0, w1, w2, b) = mean((w·x + b)²) through the fused node.
+        let mut t = Tape::new();
+        let xs: Vec<_> = (0..3).map(|i| t.input(i)).collect();
+        let ws: Vec<_> = (0..3).map(|i| t.param(i)).collect();
+        let b = t.param(3);
+        let aff = t.affine(&ws, &xs, Some(b));
+        let sq = t.square(aff);
+        let out = t.mean_batch(sq);
+        let inputs = vec![
+            vec![0.5, -1.0, 2.0],
+            vec![1.5, 0.25, -0.75],
+            vec![-2.0, 1.0, 0.5],
+        ];
+        let report =
+            check_gradients(&mut t, out, &inputs, &[0.7, -0.2, 0.4, 0.1], 1e-5);
+        assert!(report.max_rel_error < 1e-6, "report: {report:?}");
+    }
+
+    #[test]
+    fn checks_fused_gaussian() {
+        // f(w, s) = sum(exp(−(w·x)²/2s²)) with σ wired as a parameter,
+        // exactly how model.rs builds the equality relaxation.
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let w = t.param(0);
+        let coeff = {
+            let sp = t.param(1);
+            let s2 = t.square(sp);
+            let two = t.constant(2.0);
+            let t2s = t.mul(two, s2);
+            let inv = t.recip(t2s);
+            t.neg(inv)
+        };
+        let z = t.mul(w, x);
+        let act = t.gaussian(z, coeff);
+        let out = t.sum_batch(act);
+        let report =
+            check_gradients(&mut t, out, &[vec![0.5, -1.0, 2.0]], &[0.7, 0.8], 1e-5);
+        assert!(report.max_rel_error < 1e-6, "report: {report:?}");
+    }
+
+    #[test]
+    fn checks_fused_affine_into_gaussian() {
+        // The full G-CLN literal: gaussian(affine(w, x), −1/2σ²).
+        let mut t = Tape::new();
+        let xs: Vec<_> = (0..2).map(|i| t.input(i)).collect();
+        let ws: Vec<_> = (0..2).map(|i| t.param(i)).collect();
+        let coeff = t.constant(-0.5 / (0.6 * 0.6));
+        let z = t.affine(&ws, &xs, None);
+        let act = t.gaussian(z, coeff);
+        let gate = t.param(2);
+        let gated = t.mul(gate, act);
+        let out = t.mean_batch(gated);
+        let inputs = vec![vec![0.3, -0.9, 1.2], vec![1.1, 0.4, -0.6]];
+        let report = check_gradients(&mut t, out, &inputs, &[0.5, -0.8, 0.9], 1e-5);
+        assert!(report.max_rel_error < 1e-6, "report: {report:?}");
+    }
+
+    #[test]
     fn checks_piecewise_graph_away_from_kink() {
         // PBQU-like: select(z, c2^2/(z^2+c2^2), c1^2/(z^2+c1^2))
         let mut t = Tape::new();

@@ -1,4 +1,5 @@
-//! A batched, tape-based reverse-mode automatic differentiation engine.
+//! A batched, tape-based reverse-mode automatic differentiation engine
+//! with a zero-allocation execution core.
 //!
 //! This is the PyTorch substitute for the G-CLN reproduction. The design is
 //! specialized for CLN training:
@@ -11,8 +12,22 @@
 //!   [`Tape::backward`]), so the graph size is `O(model)`, not
 //!   `O(model × epochs)`.
 //! - The op set is exactly what CLN relaxations need: field arithmetic,
-//!   `exp`, powers, a piecewise selector for the PBQU activation, and
-//!   clamped gates.
+//!   `exp`, powers, a piecewise selector for the PBQU activation, clamped
+//!   gates, and **fused nodes** for the two patterns G-CLN graphs build in
+//!   bulk: [`Tape::affine`] (`Σ wᵢ·xᵢ + b` as one node instead of `2k`
+//!   mul/add nodes) and [`Tape::gaussian`] (`exp(c·z²)`, the equality
+//!   relaxation).
+//!
+//! # Execution model
+//!
+//! Node values and adjoints live in two flat `f64` arenas sized once per
+//! `(graph, batch)` pair, with per-node offsets; re-evaluating the same
+//! graph epoch after epoch performs **zero heap allocation** in `forward`
+//! and a single `Vec` allocation (the returned parameter gradients) in
+//! `backward`. A liveness pre-pass over the DAG rooted at the requested
+//! output lets both passes skip dead nodes entirely, and the backward
+//! sweep tracks which adjoints have been touched instead of scanning
+//! gradient buffers for zeros.
 //!
 //! # Examples
 //!
@@ -76,26 +91,62 @@ enum Op {
     SumBatch(Var),
     /// Reduce a batch vector to the scalar mean of its entries.
     MeanBatch(Var),
+    /// Fused affine combination `Σ wᵢ·xᵢ (+ bias)` — one node instead of
+    /// `2k` mul/add nodes. `weights` and `xs` have equal length.
+    Affine { weights: Box<[Var]>, xs: Box<[Var]>, bias: Option<Var> },
+    /// Fused Gaussian activation `exp(coeff · z²)`; with
+    /// `coeff = −1/(2σ²)` this is the equality relaxation `exp(−z²/2σ²)`.
+    Gaussian { z: Var, coeff: Var },
 }
 
-/// A computation graph with batched reverse-mode differentiation.
+/// A computation graph with batched reverse-mode differentiation over a
+/// flat value/adjoint arena.
 ///
-/// See the [module documentation](self) for an example.
+/// See the [module documentation](self) for the execution model and an
+/// example.
 #[derive(Clone, Debug, Default)]
 pub struct Tape {
     ops: Vec<Op>,
-    /// Scratch: per-node forward values; refreshed by [`Tape::forward`].
-    values: Vec<Vec<f64>>,
-    /// Scratch: per-node adjoints; refreshed by [`Tape::backward`].
-    grads: Vec<Vec<f64>>,
+    /// Per-node: value has length 1 for every batch size (params, consts,
+    /// reductions, and ops over only such nodes).
+    scalar: Vec<bool>,
+    /// Per-node: whether the node depends on any parameter. Backward
+    /// never accumulates adjoints into (or processes) nodes that don't —
+    /// input/constant subtrees contribute nothing to parameter gradients.
+    requires_grad: Vec<bool>,
     num_inputs: usize,
     num_params: usize,
+
+    // --- execution plan, rebuilt only when (graph, batch) changes ---
+    /// Number of ops the current plan covers (0 = no plan yet).
+    plan_nodes: usize,
+    /// Batch size the current plan was laid out for.
+    plan_batch: usize,
+    /// Per-node offset into the arenas.
+    offsets: Vec<usize>,
+    /// Per-node slot length (1 or `plan_batch`).
+    lens: Vec<usize>,
+    /// Flat forward-value arena.
+    values: Vec<f64>,
+    /// Flat adjoint arena (same layout as `values`).
+    grads: Vec<f64>,
+
+    // --- liveness, rebuilt only when (graph, output root) changes ---
+    /// Nodes reachable from `live_root` (indices > root are dead too).
+    live: Vec<bool>,
+    /// Output node the liveness mask was computed for (`usize::MAX` =
+    /// none).
+    live_root: usize,
+    /// Backward scratch: nodes whose adjoint has been written this pass.
+    touched: Vec<bool>,
+    /// Output of the last completed [`Tape::forward`], if any.
+    last_forward: Option<usize>,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Tape {
-        Tape::default()
+        Tape { live_root: usize::MAX, ..Tape::default() }
     }
 
     /// Number of nodes recorded so far.
@@ -119,7 +170,37 @@ impl Tape {
     }
 
     fn push(&mut self, op: Op) -> Var {
+        let (scalar, requires) = match &op {
+            Op::Input(_) => (false, false),
+            Op::Param(_) => (true, true),
+            Op::Const(_) => (true, false),
+            Op::SumBatch(a) | Op::MeanBatch(a) => (true, self.requires_grad[a.0]),
+            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Div(a, b) => (
+                self.scalar[a.0] && self.scalar[b.0],
+                self.requires_grad[a.0] || self.requires_grad[b.0],
+            ),
+            Op::Neg(a) | Op::Exp(a) | Op::Square(a) | Op::Recip(a) | Op::Clamp01(a) => {
+                (self.scalar[a.0], self.requires_grad[a.0])
+            }
+            Op::SelectNonneg { cond, nonneg, neg } => (
+                self.scalar[cond.0] && self.scalar[nonneg.0] && self.scalar[neg.0],
+                self.requires_grad[nonneg.0] || self.requires_grad[neg.0],
+            ),
+            Op::Affine { weights, xs, bias } => {
+                let all = || weights.iter().chain(xs.iter()).chain(bias.iter());
+                (
+                    all().all(|v| self.scalar[v.0]),
+                    all().any(|v| self.requires_grad[v.0]),
+                )
+            }
+            Op::Gaussian { z, coeff } => (
+                self.scalar[z.0] && self.scalar[coeff.0],
+                self.requires_grad[z.0] || self.requires_grad[coeff.0],
+            ),
+        };
         self.ops.push(op);
+        self.scalar.push(scalar);
+        self.requires_grad.push(requires);
         Var(self.ops.len() - 1)
     }
 
@@ -203,30 +284,112 @@ impl Tape {
         self.push(Op::MeanBatch(a))
     }
 
-    /// Convenience: an affine combination `Σ wᵢ·xᵢ + b` where the `wᵢ` and
-    /// `b` are parameter vars and `xᵢ` input vars.
+    /// Fused affine combination `Σ wᵢ·xᵢ + b`: a **single** tape node,
+    /// where the old engine recorded `2k` mul/add nodes per call.
     ///
     /// # Panics
     ///
     /// Panics if `weights.len() != xs.len()`.
     pub fn affine(&mut self, weights: &[Var], xs: &[Var], bias: Option<Var>) -> Var {
         assert_eq!(weights.len(), xs.len(), "affine arity mismatch");
-        let mut acc: Option<Var> = bias;
-        for (&w, &x) in weights.iter().zip(xs) {
-            let prod = self.mul(w, x);
-            acc = Some(match acc {
-                Some(a) => self.add(a, prod),
-                None => prod,
-            });
+        if weights.is_empty() {
+            return match bias {
+                Some(b) => b,
+                None => self.constant(0.0),
+            };
         }
-        acc.unwrap_or_else(|| self.constant(0.0))
+        self.push(Op::Affine { weights: weights.into(), xs: xs.into(), bias })
+    }
+
+    /// Fused Gaussian activation `exp(coeff · z²)`.
+    ///
+    /// With `coeff` wired to `−1/(2σ²)` this is the paper's equality
+    /// relaxation `exp(−z²/2σ²)` in one node instead of the
+    /// square → mul → exp chain.
+    pub fn gaussian(&mut self, z: Var, coeff: Var) -> Var {
+        self.push(Op::Gaussian { z, coeff })
+    }
+
+    /// (Re)computes the arena layout for `batch`, reusing existing arenas
+    /// when neither the graph nor the batch size changed.
+    fn ensure_plan(&mut self, batch: usize) {
+        if self.plan_nodes == self.ops.len() && self.plan_batch == batch {
+            return;
+        }
+        self.offsets.clear();
+        self.lens.clear();
+        self.offsets.reserve(self.ops.len());
+        self.lens.reserve(self.ops.len());
+        let mut total = 0usize;
+        for &scalar in &self.scalar {
+            let len = if scalar { 1 } else { batch };
+            self.offsets.push(total);
+            self.lens.push(len);
+            total += len;
+        }
+        self.values.clear();
+        self.values.resize(total, 0.0);
+        self.grads.clear();
+        self.grads.resize(total, 0.0);
+        self.plan_nodes = self.ops.len();
+        self.plan_batch = batch;
+        self.last_forward = None;
+    }
+
+    /// (Re)computes the liveness mask for the DAG rooted at `output`.
+    fn ensure_live(&mut self, output: usize) {
+        if self.live_root == output && self.live.len() == self.ops.len() {
+            return;
+        }
+        self.live.clear();
+        self.live.resize(self.ops.len(), false);
+        let ops = &self.ops;
+        let live = &mut self.live;
+        live[output] = true;
+        for i in (0..=output).rev() {
+            if !live[i] {
+                continue;
+            }
+            let mut mark = |v: &Var| live[v.0] = true;
+            match &ops[i] {
+                Op::Input(_) | Op::Param(_) | Op::Const(_) => {}
+                Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Div(a, b) => {
+                    mark(a);
+                    mark(b);
+                }
+                Op::Neg(a)
+                | Op::Exp(a)
+                | Op::Square(a)
+                | Op::Recip(a)
+                | Op::Clamp01(a)
+                | Op::SumBatch(a)
+                | Op::MeanBatch(a) => mark(a),
+                Op::SelectNonneg { cond, nonneg, neg } => {
+                    mark(cond);
+                    mark(nonneg);
+                    mark(neg);
+                }
+                Op::Affine { weights, xs, bias } => {
+                    weights.iter().chain(xs.iter()).chain(bias.iter()).for_each(mark);
+                }
+                Op::Gaussian { z, coeff } => {
+                    mark(z);
+                    mark(coeff);
+                }
+            }
+        }
+        self.live_root = output;
+        self.touched.clear();
+        self.touched.resize(self.ops.len(), false);
     }
 
     /// Runs a forward pass, returning the scalar value of `output`.
     ///
     /// `inputs[i]` is the batch column for [`Tape::input`] index `i`; all
     /// columns must share one length. `params[i]` feeds [`Tape::param`]
-    /// index `i`.
+    /// index `i`. Only nodes the output depends on are evaluated, and no
+    /// heap allocation happens once the arena is laid out for this
+    /// `(graph, batch)` pair.
     ///
     /// # Panics
     ///
@@ -235,153 +398,232 @@ impl Tape {
     pub fn forward(&mut self, output: Var, inputs: &[Vec<f64>], params: &[f64]) -> f64 {
         assert!(inputs.len() >= self.num_inputs, "missing input columns");
         assert!(params.len() >= self.num_params, "missing parameters");
+        assert!(output.0 < self.ops.len(), "output var from another tape");
         let batch = inputs.first().map_or(1, Vec::len);
         assert!(inputs.iter().all(|c| c.len() == batch), "ragged input columns");
-        self.values.resize(self.ops.len(), Vec::new());
-        for i in 0..self.ops.len() {
-            let value = match &self.ops[i] {
-                Op::Input(idx) => inputs[*idx].clone(),
-                Op::Param(idx) => vec![params[*idx]],
-                Op::Const(c) => vec![*c],
-                Op::Add(a, b) => zip_with(&self.values[a.0], &self.values[b.0], |x, y| x + y),
-                Op::Sub(a, b) => zip_with(&self.values[a.0], &self.values[b.0], |x, y| x - y),
-                Op::Mul(a, b) => zip_with(&self.values[a.0], &self.values[b.0], |x, y| x * y),
-                Op::Div(a, b) => zip_with(&self.values[a.0], &self.values[b.0], |x, y| x / y),
-                Op::Neg(a) => self.values[a.0].iter().map(|x| -x).collect(),
-                Op::Exp(a) => self.values[a.0].iter().map(|x| x.exp()).collect(),
-                Op::Square(a) => self.values[a.0].iter().map(|x| x * x).collect(),
-                Op::Recip(a) => self.values[a.0].iter().map(|x| 1.0 / x).collect(),
+        self.ensure_plan(batch);
+        self.ensure_live(output.0);
+        assert_eq!(
+            self.lens[output.0],
+            1,
+            "output must be a scalar node; reduce the batch first"
+        );
+
+        let ops = &self.ops;
+        let offsets = &self.offsets;
+        let lens = &self.lens;
+        let live = &self.live;
+        for i in 0..=output.0 {
+            if !live[i] {
+                continue;
+            }
+            let off = offsets[i];
+            let len = lens[i];
+            let (prev, rest) = self.values.split_at_mut(off);
+            let out = &mut rest[..len];
+            let slot = |v: &Var| -> &[f64] { slice_at(prev, offsets, lens, *v) };
+            match &ops[i] {
+                Op::Input(idx) => out.copy_from_slice(&inputs[*idx]),
+                Op::Param(idx) => out[0] = params[*idx],
+                Op::Const(c) => out[0] = *c,
+                Op::Add(a, b) => zip_into(out, slot(a), slot(b), |x, y| x + y),
+                Op::Sub(a, b) => zip_into(out, slot(a), slot(b), |x, y| x - y),
+                Op::Mul(a, b) => zip_into(out, slot(a), slot(b), |x, y| x * y),
+                Op::Div(a, b) => zip_into(out, slot(a), slot(b), |x, y| x / y),
+                Op::Neg(a) => map_into(out, slot(a), |x| -x),
+                Op::Exp(a) => map_into(out, slot(a), |x| x.exp()),
+                Op::Square(a) => map_into(out, slot(a), |x| x * x),
+                Op::Recip(a) => map_into(out, slot(a), |x| 1.0 / x),
                 Op::SelectNonneg { cond, nonneg, neg } => {
-                    let c = &self.values[cond.0];
-                    let p = &self.values[nonneg.0];
-                    let n = &self.values[neg.0];
-                    let len = c.len().max(p.len()).max(n.len());
-                    (0..len)
-                        .map(|j| {
-                            if bget(c, j) >= 0.0 {
-                                bget(p, j)
-                            } else {
-                                bget(n, j)
-                            }
-                        })
-                        .collect()
+                    let (c, p, n) = (slot(cond), slot(nonneg), slot(neg));
+                    for (j, o) in out.iter_mut().enumerate() {
+                        *o = if bget(c, j) >= 0.0 { bget(p, j) } else { bget(n, j) };
+                    }
                 }
-                Op::Clamp01(a) => self.values[a.0].iter().map(|x| x.clamp(0.0, 1.0)).collect(),
-                Op::SumBatch(a) => vec![self.values[a.0].iter().sum()],
+                Op::Clamp01(a) => map_into(out, slot(a), |x| x.clamp(0.0, 1.0)),
+                Op::SumBatch(a) => out[0] = slot(a).iter().sum(),
                 Op::MeanBatch(a) => {
-                    let v = &self.values[a.0];
-                    vec![v.iter().sum::<f64>() / v.len() as f64]
+                    let v = slot(a);
+                    out[0] = v.iter().sum::<f64>() / v.len() as f64;
                 }
-            };
-            self.values[i] = value;
+                Op::Affine { weights, xs, bias } => {
+                    match bias {
+                        Some(b) => {
+                            let bv = slot(b);
+                            for (j, o) in out.iter_mut().enumerate() {
+                                *o = bget(bv, j);
+                            }
+                        }
+                        None => out.fill(0.0),
+                    }
+                    for (w, x) in weights.iter().zip(xs.iter()) {
+                        let wv = slot(w);
+                        let xv = slot(x);
+                        if wv.len() == 1 && xv.len() == out.len() {
+                            let w0 = wv[0];
+                            for (o, &x) in out.iter_mut().zip(xv) {
+                                *o += w0 * x;
+                            }
+                        } else {
+                            for (j, o) in out.iter_mut().enumerate() {
+                                *o += bget(wv, j) * bget(xv, j);
+                            }
+                        }
+                    }
+                }
+                Op::Gaussian { z, coeff } => {
+                    let zv = slot(z);
+                    let cv = slot(coeff);
+                    // `(z·z)·c` ordering matches the unfused
+                    // square → mul → exp chain bit-for-bit.
+                    if cv.len() == 1 {
+                        let c0 = cv[0];
+                        for (o, &z) in out.iter_mut().zip(zv) {
+                            *o = (z * z * c0).exp();
+                        }
+                    } else {
+                        for (j, o) in out.iter_mut().enumerate() {
+                            let z = bget(zv, j);
+                            *o = (z * z * bget(cv, j)).exp();
+                        }
+                    }
+                }
+            }
         }
-        let out = &self.values[output.0];
-        assert_eq!(out.len(), 1, "output must be a scalar node; reduce the batch first");
-        out[0]
+        self.last_forward = Some(output.0);
+        self.values[self.offsets[output.0]]
     }
 
     /// Runs a backward pass from `output` (after [`Tape::forward`]),
     /// returning `∂output/∂paramᵢ` for every parameter.
     ///
+    /// Only nodes whose adjoint was actually touched are visited (no
+    /// zero-scanning), and the only heap allocation is the returned
+    /// gradient vector.
+    ///
     /// # Panics
     ///
-    /// Panics if called before `forward`.
+    /// Panics if called before `forward`, or with a different output node
+    /// than the last `forward`.
     pub fn backward(&mut self, output: Var) -> Vec<f64> {
-        assert_eq!(self.values.len(), self.ops.len(), "call forward before backward");
-        self.grads.clear();
-        self.grads
-            .resize_with(self.ops.len(), Vec::new);
-        for (g, v) in self.grads.iter_mut().zip(&self.values) {
-            g.clear();
-            g.resize(v.len(), 0.0);
-        }
-        self.grads[output.0] = vec![1.0];
+        assert_eq!(
+            self.last_forward,
+            Some(output.0),
+            "call forward (with the same output) before backward"
+        );
         let mut param_grads = vec![0.0; self.num_params];
-        for i in (0..self.ops.len()).rev() {
-            if self.grads[i].iter().all(|&g| g == 0.0) {
+        if !self.requires_grad[output.0] {
+            return param_grads; // output independent of every parameter
+        }
+        // No arena-wide zeroing: a slot is *assigned* (not accumulated)
+        // the first time its node is touched each pass, so stale values
+        // from the previous epoch are never read.
+        self.touched.fill(false);
+        self.grads[self.offsets[output.0]] = 1.0;
+        self.touched[output.0] = true;
+
+        let ops = &self.ops;
+        let offsets = &self.offsets;
+        let lens = &self.lens;
+        let values = &self.values;
+        let requires = &self.requires_grad;
+        let vslot = |v: &Var| -> &[f64] { slice_at(values, offsets, lens, *v) };
+        for i in (0..=output.0).rev() {
+            if !self.touched[i] {
                 continue;
             }
-            let grad = std::mem::take(&mut self.grads[i]);
-            match self.ops[i].clone() {
+            let off = offsets[i];
+            let len = lens[i];
+            let (gprev, gcur) = self.grads.split_at_mut(off);
+            let g: &[f64] = &gcur[..len];
+            let touched = &mut self.touched;
+            // Statically dispatched adjoint accumulation, gated on
+            // `requires_grad` so input/constant subtrees cost nothing.
+            macro_rules! acc {
+                ($target:expr, |$j:pat_param, $gv:ident| $body:expr) => {{
+                    let t: &Var = $target;
+                    if requires[t.0] {
+                        let fresh = !touched[t.0];
+                        accum_into(gprev, offsets[t.0], lens[t.0], g, fresh, |$j, $gv| $body);
+                        touched[t.0] = true;
+                    }
+                }};
+            }
+            match &ops[i] {
                 Op::Input(_) | Op::Const(_) => {}
-                Op::Param(idx) => {
-                    param_grads[idx] += grad.iter().sum::<f64>();
-                }
+                Op::Param(idx) => param_grads[*idx] += g[0],
                 Op::Add(a, b) => {
-                    self.accumulate(a, &grad, |_, g| g);
-                    self.accumulate(b, &grad, |_, g| g);
+                    acc!(a, |_, g| g);
+                    acc!(b, |_, g| g);
                 }
                 Op::Sub(a, b) => {
-                    self.accumulate(a, &grad, |_, g| g);
-                    self.accumulate(b, &grad, |_, g| -g);
+                    acc!(a, |_, g| g);
+                    acc!(b, |_, g| -g);
                 }
                 Op::Mul(a, b) => {
-                    let bv = self.values[b.0].clone();
-                    let av = self.values[a.0].clone();
-                    self.accumulate(a, &grad, |j, g| g * bget(&bv, j));
-                    self.accumulate(b, &grad, |j, g| g * bget(&av, j));
+                    let (av, bv) = (vslot(a), vslot(b));
+                    acc!(a, |j, g| g * bget(bv, j));
+                    acc!(b, |j, g| g * bget(av, j));
                 }
                 Op::Div(a, b) => {
-                    let av = self.values[a.0].clone();
-                    let bv = self.values[b.0].clone();
-                    self.accumulate(a, &grad, |j, g| g / bget(&bv, j));
-                    self.accumulate(b, &grad, |j, g| {
-                        let bj = bget(&bv, j);
-                        -g * bget(&av, j) / (bj * bj)
+                    let (av, bv) = (vslot(a), vslot(b));
+                    acc!(a, |j, g| g / bget(bv, j));
+                    acc!(b, |j, g| {
+                        let bj = bget(bv, j);
+                        -g * bget(av, j) / (bj * bj)
                     });
                 }
-                Op::Neg(a) => self.accumulate(a, &grad, |_, g| -g),
+                Op::Neg(a) => acc!(a, |_, g| -g),
                 Op::Exp(a) => {
-                    let out = self.values[i].clone();
-                    self.accumulate(a, &grad, |j, g| g * bget(&out, j));
+                    let out = &values[off..off + len];
+                    acc!(a, |j, g| g * out[j]);
                 }
                 Op::Square(a) => {
-                    let av = self.values[a.0].clone();
-                    self.accumulate(a, &grad, |j, g| 2.0 * g * bget(&av, j));
+                    let av = vslot(a);
+                    acc!(a, |j, g| 2.0 * g * av[j]);
                 }
                 Op::Recip(a) => {
-                    let av = self.values[a.0].clone();
-                    self.accumulate(a, &grad, |j, g| {
-                        let x = bget(&av, j);
+                    let av = vslot(a);
+                    acc!(a, |j, g| {
+                        let x = av[j];
                         -g / (x * x)
                     });
                 }
                 Op::SelectNonneg { cond, nonneg, neg } => {
-                    let cv = self.values[cond.0].clone();
-                    self.accumulate(nonneg, &grad, |j, g| {
-                        if bget(&cv, j) >= 0.0 {
-                            g
-                        } else {
-                            0.0
-                        }
-                    });
-                    self.accumulate(neg, &grad, |j, g| {
-                        if bget(&cv, j) >= 0.0 {
-                            0.0
-                        } else {
-                            g
-                        }
-                    });
+                    let cv = vslot(cond);
+                    acc!(nonneg, |j, g| if bget(cv, j) >= 0.0 { g } else { 0.0 });
+                    acc!(neg, |j, g| if bget(cv, j) >= 0.0 { 0.0 } else { g });
                 }
                 Op::Clamp01(a) => {
-                    let av = self.values[a.0].clone();
-                    self.accumulate(a, &grad, |j, g| {
-                        let x = bget(&av, j);
-                        if (0.0..=1.0).contains(&x) {
-                            g
-                        } else {
-                            0.0
-                        }
-                    });
+                    let av = vslot(a);
+                    acc!(a, |j, g| if (0.0..=1.0).contains(&av[j]) { g } else { 0.0 });
                 }
                 Op::SumBatch(a) => {
-                    let g0 = grad[0];
-                    self.accumulate(a, &vec![g0; self.values[a.0].len()], |_, g| g);
+                    // Scalar upstream broadcast over the operand slot.
+                    acc!(a, |_, g| g);
                 }
                 Op::MeanBatch(a) => {
-                    let n = self.values[a.0].len() as f64;
-                    let g0 = grad[0] / n;
-                    self.accumulate(a, &vec![g0; self.values[a.0].len()], |_, g| g);
+                    let n = lens[a.0] as f64;
+                    acc!(a, |_, g| g / n);
+                }
+                Op::Affine { weights, xs, bias } => {
+                    for (w, x) in weights.iter().zip(xs.iter()) {
+                        let (wv, xv) = (vslot(w), vslot(x));
+                        acc!(w, |j, g| g * bget(xv, j));
+                        acc!(x, |j, g| g * bget(wv, j));
+                    }
+                    if let Some(b) = bias {
+                        acc!(b, |_, g| g);
+                    }
+                }
+                Op::Gaussian { z, coeff } => {
+                    let (zv, cv) = (vslot(z), vslot(coeff));
+                    let out = &values[off..off + len];
+                    acc!(z, |j, g| g * out[j] * bget(cv, j) * 2.0 * bget(zv, j));
+                    acc!(coeff, |j, g| {
+                        let z = bget(zv, j);
+                        g * out[j] * (z * z)
+                    });
                 }
             }
         }
@@ -404,35 +646,247 @@ impl Tape {
     ///
     /// # Panics
     ///
-    /// Panics if `forward` has not been run.
+    /// Panics if `forward` has not been run, or if the node was dead for
+    /// the last forward output (the liveness pre-pass skipped it).
     pub fn value_of(&self, v: Var) -> &[f64] {
-        assert_eq!(self.values.len(), self.ops.len(), "call forward before value_of");
-        &self.values[v.0]
+        assert!(self.last_forward.is_some(), "call forward before value_of");
+        assert!(
+            v.0 < self.live.len() && self.live[v.0],
+            "node {} was not live for the last forward output",
+            v.0
+        );
+        &self.values[self.offsets[v.0]..self.offsets[v.0] + self.lens[v.0]]
     }
 
-    /// Adds `f(j, upstream_grad_j)` into the adjoint of `target`,
-    /// reducing over the batch when `target` is a broadcast scalar.
-    fn accumulate(&mut self, target: Var, upstream: &[f64], f: impl Fn(usize, f64) -> f64) {
-        let tlen = self.grads[target.0].len();
-        if tlen == upstream.len() {
-            for (j, &g) in upstream.iter().enumerate() {
-                self.grads[target.0][j] += f(j, g);
-            }
-        } else if tlen == 1 {
-            let mut acc = 0.0;
-            for (j, &g) in upstream.iter().enumerate() {
-                acc += f(j, g);
-            }
-            self.grads[target.0][0] += acc;
-        } else if upstream.len() == 1 {
-            // Scalar gradient flowing into a batch node (e.g. after a reduce
-            // handled above); broadcast.
-            for j in 0..tlen {
-                self.grads[target.0][j] += f(j, upstream[0]);
-            }
-        } else {
-            panic!("gradient shape mismatch: {} vs {}", tlen, upstream.len());
+    /// Slow reference interpreter with per-op `Vec` storage — the seed
+    /// engine's semantics, kept as an oracle for property tests comparing
+    /// the arena engine against the original per-op evaluation.
+    pub fn reference_eval_with_grad(
+        &self,
+        output: Var,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+    ) -> (f64, Vec<f64>) {
+        assert!(inputs.len() >= self.num_inputs, "missing input columns");
+        assert!(params.len() >= self.num_params, "missing parameters");
+        let batch = inputs.first().map_or(1, Vec::len);
+        assert!(inputs.iter().all(|c| c.len() == batch), "ragged input columns");
+        let mut values: Vec<Vec<f64>> = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let v = |x: &Var| &values[x.0];
+            let value = match op {
+                Op::Input(idx) => inputs[*idx].clone(),
+                Op::Param(idx) => vec![params[*idx]],
+                Op::Const(c) => vec![*c],
+                Op::Add(a, b) => zip_with(v(a), v(b), |x, y| x + y),
+                Op::Sub(a, b) => zip_with(v(a), v(b), |x, y| x - y),
+                Op::Mul(a, b) => zip_with(v(a), v(b), |x, y| x * y),
+                Op::Div(a, b) => zip_with(v(a), v(b), |x, y| x / y),
+                Op::Neg(a) => v(a).iter().map(|x| -x).collect(),
+                Op::Exp(a) => v(a).iter().map(|x| x.exp()).collect(),
+                Op::Square(a) => v(a).iter().map(|x| x * x).collect(),
+                Op::Recip(a) => v(a).iter().map(|x| 1.0 / x).collect(),
+                Op::SelectNonneg { cond, nonneg, neg } => {
+                    let (c, p, n) = (v(cond), v(nonneg), v(neg));
+                    let len = c.len().max(p.len()).max(n.len());
+                    (0..len)
+                        .map(|j| if bget(c, j) >= 0.0 { bget(p, j) } else { bget(n, j) })
+                        .collect()
+                }
+                Op::Clamp01(a) => v(a).iter().map(|x| x.clamp(0.0, 1.0)).collect(),
+                Op::SumBatch(a) => vec![v(a).iter().sum()],
+                Op::MeanBatch(a) => vec![v(a).iter().sum::<f64>() / v(a).len() as f64],
+                Op::Affine { weights, xs, bias } => {
+                    let len = weights
+                        .iter()
+                        .chain(xs.iter())
+                        .chain(bias.iter())
+                        .map(|n| values[n.0].len())
+                        .max()
+                        .unwrap_or(1);
+                    (0..len)
+                        .map(|j| {
+                            let mut acc = bias.as_ref().map_or(0.0, |b| bget(&values[b.0], j));
+                            for (w, x) in weights.iter().zip(xs.iter()) {
+                                acc += bget(&values[w.0], j) * bget(&values[x.0], j);
+                            }
+                            acc
+                        })
+                        .collect()
+                }
+                Op::Gaussian { z, coeff } => {
+                    let (zv, cv) = (v(z), v(coeff));
+                    let len = zv.len().max(cv.len());
+                    (0..len)
+                        .map(|j| {
+                            let z = bget(zv, j);
+                            (z * z * bget(cv, j)).exp()
+                        })
+                        .collect()
+                }
+            };
+            values.push(value);
         }
+        let out = &values[output.0];
+        assert_eq!(out.len(), 1, "output must be a scalar node; reduce the batch first");
+        let result = out[0];
+
+        let mut grads: Vec<Vec<f64>> = values.iter().map(|v| vec![0.0; v.len()]).collect();
+        grads[output.0] = vec![1.0];
+        let mut param_grads = vec![0.0; self.num_params];
+        for i in (0..=output.0).rev() {
+            if grads[i].iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            let grad = std::mem::take(&mut grads[i]);
+            let mut acc = |t: &Var, f: &dyn Fn(usize, f64) -> f64| {
+                let tlen = values[t.0].len();
+                if grads[t.0].is_empty() {
+                    grads[t.0] = vec![0.0; tlen];
+                }
+                if tlen == grad.len() {
+                    for (j, &g) in grad.iter().enumerate() {
+                        grads[t.0][j] += f(j, g);
+                    }
+                } else if tlen == 1 {
+                    grads[t.0][0] += grad.iter().enumerate().map(|(j, &g)| f(j, g)).sum::<f64>();
+                } else {
+                    for (j, d) in grads[t.0].iter_mut().enumerate() {
+                        *d += f(j, grad[0]);
+                    }
+                }
+            };
+            match &self.ops[i] {
+                Op::Input(_) | Op::Const(_) => {}
+                Op::Param(idx) => param_grads[*idx] += grad.iter().sum::<f64>(),
+                Op::Add(a, b) => {
+                    acc(a, &|_, g| g);
+                    acc(b, &|_, g| g);
+                }
+                Op::Sub(a, b) => {
+                    acc(a, &|_, g| g);
+                    acc(b, &|_, g| -g);
+                }
+                Op::Mul(a, b) => {
+                    let (av, bv) = (values[a.0].clone(), values[b.0].clone());
+                    acc(a, &|j, g| g * bget(&bv, j));
+                    acc(b, &|j, g| g * bget(&av, j));
+                }
+                Op::Div(a, b) => {
+                    let (av, bv) = (values[a.0].clone(), values[b.0].clone());
+                    acc(a, &|j, g| g / bget(&bv, j));
+                    acc(b, &|j, g| {
+                        let bj = bget(&bv, j);
+                        -g * bget(&av, j) / (bj * bj)
+                    });
+                }
+                Op::Neg(a) => acc(a, &|_, g| -g),
+                Op::Exp(a) => {
+                    let out = values[i].clone();
+                    acc(a, &|j, g| g * bget(&out, j));
+                }
+                Op::Square(a) => {
+                    let av = values[a.0].clone();
+                    acc(a, &|j, g| 2.0 * g * bget(&av, j));
+                }
+                Op::Recip(a) => {
+                    let av = values[a.0].clone();
+                    acc(a, &|j, g| {
+                        let x = bget(&av, j);
+                        -g / (x * x)
+                    });
+                }
+                Op::SelectNonneg { cond, nonneg, neg } => {
+                    let cv = values[cond.0].clone();
+                    acc(nonneg, &|j, g| if bget(&cv, j) >= 0.0 { g } else { 0.0 });
+                    acc(neg, &|j, g| if bget(&cv, j) >= 0.0 { 0.0 } else { g });
+                }
+                Op::Clamp01(a) => {
+                    let av = values[a.0].clone();
+                    acc(a, &|j, g| if (0.0..=1.0).contains(&bget(&av, j)) { g } else { 0.0 });
+                }
+                Op::SumBatch(a) => acc(a, &|_, g| g),
+                Op::MeanBatch(a) => {
+                    let n = values[a.0].len() as f64;
+                    acc(a, &|_, g| g / n);
+                }
+                Op::Affine { weights, xs, bias } => {
+                    for (w, x) in weights.iter().zip(xs.iter()) {
+                        let (wv, xv) = (values[w.0].clone(), values[x.0].clone());
+                        acc(w, &|j, g| g * bget(&xv, j));
+                        acc(x, &|j, g| g * bget(&wv, j));
+                    }
+                    if let Some(b) = bias {
+                        acc(b, &|_, g| g);
+                    }
+                }
+                Op::Gaussian { z, coeff } => {
+                    let (zv, cv) = (values[z.0].clone(), values[coeff.0].clone());
+                    let out = values[i].clone();
+                    acc(z, &|j, g| g * bget(&out, j) * bget(&cv, j) * 2.0 * bget(&zv, j));
+                    acc(coeff, &|j, g| {
+                        let z = bget(&zv, j);
+                        g * bget(&out, j) * (z * z)
+                    });
+                }
+            }
+        }
+        (result, param_grads)
+    }
+}
+
+/// `arena[offsets[v]..][..lens[v]]` — a node's slot within an arena
+/// prefix (forward: nodes before the one being computed; backward: nodes
+/// before the one being differentiated).
+fn slice_at<'a>(arena: &'a [f64], offsets: &[usize], lens: &[usize], v: Var) -> &'a [f64] {
+    &arena[offsets[v.0]..offsets[v.0] + lens[v.0]]
+}
+
+/// Adds `f(j, upstream_j)` into `grads_prefix[off..off+tlen]`, reducing
+/// over the batch when the target is a broadcast scalar and broadcasting
+/// when the upstream is (after a reduce). `fresh` marks the first write
+/// into the slot this pass: it assigns instead of accumulating, which is
+/// what lets `backward` skip zeroing the whole arena.
+#[inline]
+fn accum_into(
+    grads_prefix: &mut [f64],
+    off: usize,
+    tlen: usize,
+    upstream: &[f64],
+    fresh: bool,
+    f: impl Fn(usize, f64) -> f64,
+) {
+    let dst = &mut grads_prefix[off..off + tlen];
+    if tlen == upstream.len() {
+        for (j, (d, &g)) in dst.iter_mut().zip(upstream).enumerate() {
+            if fresh {
+                *d = f(j, g);
+            } else {
+                *d += f(j, g);
+            }
+        }
+    } else if tlen == 1 {
+        let mut acc = 0.0;
+        for (j, &g) in upstream.iter().enumerate() {
+            acc += f(j, g);
+        }
+        if fresh {
+            dst[0] = acc;
+        } else {
+            dst[0] += acc;
+        }
+    } else if upstream.len() == 1 {
+        // Scalar gradient flowing into a batch node (after a reduce).
+        let g0 = upstream[0];
+        for (j, d) in dst.iter_mut().enumerate() {
+            if fresh {
+                *d = f(j, g0);
+            } else {
+                *d += f(j, g0);
+            }
+        }
+    } else {
+        panic!("gradient shape mismatch: {} vs {}", tlen, upstream.len());
     }
 }
 
@@ -441,6 +895,36 @@ fn bget(v: &[f64], j: usize) -> f64 {
         v[0]
     } else {
         v[j]
+    }
+}
+
+fn map_into(out: &mut [f64], a: &[f64], f: impl Fn(f64) -> f64) {
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = f(x);
+    }
+}
+
+fn zip_into(out: &mut [f64], a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) {
+    match (a.len(), b.len()) {
+        (1, 1) => out[0] = f(a[0], b[0]),
+        (1, _) => {
+            let a0 = a[0];
+            for (o, &y) in out.iter_mut().zip(b) {
+                *o = f(a0, y);
+            }
+        }
+        (_, 1) => {
+            let b0 = b[0];
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = f(x, b0);
+            }
+        }
+        (n, m) => {
+            assert_eq!(n, m, "batch length mismatch");
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = f(x, y);
+            }
+        }
     }
 }
 
@@ -575,6 +1059,91 @@ mod tests {
     }
 
     #[test]
+    fn affine_is_one_node() {
+        let mut t = Tape::new();
+        let xs: Vec<Var> = (0..4).map(|i| t.input(i)).collect();
+        let ws: Vec<Var> = (0..4).map(|i| t.param(i)).collect();
+        let before = t.len();
+        let _ = t.affine(&ws, &xs, None);
+        assert_eq!(t.len(), before + 1, "fused affine must record exactly one node");
+    }
+
+    #[test]
+    fn affine_gradients_match_unfused() {
+        let inputs = vec![vec![1.0, -2.0, 0.5], vec![3.0, 0.0, -1.0]];
+        let params = [0.7, -0.3, 0.2];
+        // Fused.
+        let mut t1 = Tape::new();
+        let xs: Vec<Var> = (0..2).map(|i| t1.input(i)).collect();
+        let ws: Vec<Var> = (0..2).map(|i| t1.param(i)).collect();
+        let b = t1.param(2);
+        let aff = t1.affine(&ws, &xs, Some(b));
+        let sq = t1.square(aff);
+        let out = t1.sum_batch(sq);
+        let (v1, g1) = t1.eval_with_grad(out, &inputs, &params);
+        // Hand-built mul/add chain.
+        let mut t2 = Tape::new();
+        let xs: Vec<Var> = (0..2).map(|i| t2.input(i)).collect();
+        let ws: Vec<Var> = (0..2).map(|i| t2.param(i)).collect();
+        let b = t2.param(2);
+        let m0 = t2.mul(ws[0], xs[0]);
+        let m1 = t2.mul(ws[1], xs[1]);
+        let s = t2.add(m0, m1);
+        let aff = t2.add(s, b);
+        let sq = t2.square(aff);
+        let out = t2.sum_batch(sq);
+        let (v2, g2) = t2.eval_with_grad(out, &inputs, &params);
+        assert!((v1 - v2).abs() < 1e-12);
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((a - b).abs() < 1e-12, "{g1:?} vs {g2:?}");
+        }
+    }
+
+    #[test]
+    fn gaussian_matches_unfused_chain() {
+        let inputs = vec![vec![0.5, -1.5, 2.0]];
+        let params = [0.8, 0.3]; // w, sigma
+        // Fused: exp(coeff * (w x)^2), coeff = -1/(2 sigma^2).
+        let mut t1 = Tape::new();
+        let x = t1.input(0);
+        let w = t1.param(0);
+        let coeff = {
+            let sp = t1.param(1);
+            let s2 = t1.square(sp);
+            let two = t1.constant(2.0);
+            let t2s = t1.mul(two, s2);
+            let inv = t1.recip(t2s);
+            t1.neg(inv)
+        };
+        let z = t1.mul(w, x);
+        let act = t1.gaussian(z, coeff);
+        let out = t1.sum_batch(act);
+        let (v1, g1) = t1.eval_with_grad(out, &inputs, &params);
+        // Unfused square → mul → exp chain.
+        let mut t2 = Tape::new();
+        let x = t2.input(0);
+        let w = t2.param(0);
+        let coeff = {
+            let sp = t2.param(1);
+            let s2 = t2.square(sp);
+            let two = t2.constant(2.0);
+            let t2s = t2.mul(two, s2);
+            let inv = t2.recip(t2s);
+            t2.neg(inv)
+        };
+        let z = t2.mul(w, x);
+        let z2 = t2.square(z);
+        let scaled = t2.mul(z2, coeff);
+        let act = t2.exp(scaled);
+        let out = t2.sum_batch(act);
+        let (v2, g2) = t2.eval_with_grad(out, &inputs, &params);
+        assert!((v1 - v2).abs() < 1e-12);
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((a - b).abs() < 1e-12, "{g1:?} vs {g2:?}");
+        }
+    }
+
+    #[test]
     fn value_of_reads_intermediates() {
         let mut t = Tape::new();
         let x = t.input(0);
@@ -582,6 +1151,33 @@ mod tests {
         let out = t.sum_batch(sq);
         t.forward(out, &[vec![2.0, 3.0]], &[]);
         assert_eq!(t.value_of(sq), &[4.0, 9.0]);
+    }
+
+    #[test]
+    fn dead_nodes_are_skipped() {
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let w = t.param(0);
+        let live = t.mul(w, x);
+        // Dead subgraph: would divide by zero if evaluated.
+        let zero = t.constant(0.0);
+        let dead = t.div(live, zero);
+        let _dead2 = t.exp(dead);
+        let out = t.sum_batch(live);
+        let (v, g) = t.eval_with_grad(out, &[vec![1.0, 2.0]], &[3.0]);
+        assert_eq!(v, 9.0);
+        assert_eq!(g, vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn value_of_dead_node_panics() {
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let dead = t.square(x);
+        let live = t.sum_batch(x);
+        t.forward(live, &[vec![1.0]], &[]);
+        let _ = t.value_of(dead);
     }
 
     #[test]
@@ -621,5 +1217,94 @@ mod tests {
             w0 -= 0.05 * g[0];
         }
         assert!(w0.abs() < 0.1, "descent should drive w toward 0, got {w0}");
+    }
+
+    #[test]
+    fn batch_size_change_relays_the_arena() {
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let w = t.param(0);
+        let p = t.mul(w, x);
+        let s = t.sum_batch(p);
+        assert_eq!(t.forward(s, &[vec![1.0, 2.0]], &[2.0]), 6.0);
+        assert_eq!(t.forward(s, &[vec![1.0, 2.0, 3.0, 4.0]], &[2.0]), 20.0);
+        assert_eq!(t.forward(s, &[vec![5.0]], &[2.0]), 10.0);
+    }
+
+    #[test]
+    fn switching_outputs_recomputes_liveness() {
+        let mut t = Tape::new();
+        let x = t.input(0);
+        let w = t.param(0);
+        let a = t.mul(w, x);
+        let b = t.square(x);
+        let out_a = t.sum_batch(a);
+        let out_b = t.sum_batch(b);
+        let (va, ga) = t.eval_with_grad(out_a, &[vec![1.0, 2.0]], &[3.0]);
+        assert_eq!((va, ga), (9.0, vec![3.0]));
+        let (vb, gb) = t.eval_with_grad(out_b, &[vec![1.0, 2.0]], &[3.0]);
+        assert_eq!((vb, gb), (5.0, vec![0.0]));
+        // And back again.
+        let (va2, _) = t.eval_with_grad(out_a, &[vec![1.0, 2.0]], &[3.0]);
+        assert_eq!(va2, 9.0);
+    }
+
+    #[test]
+    fn reference_interpreter_agrees_on_gcln_like_graph() {
+        // A miniature of what model.rs builds: gated OR of gaussian
+        // literals under a gated AND, reduced with mean.
+        let mut t = Tape::new();
+        let xs: Vec<Var> = (0..3).map(|i| t.input(i)).collect();
+        let one = t.constant(1.0);
+        let coeff = {
+            let sp = t.param(0);
+            let s2 = t.square(sp);
+            let two = t.constant(2.0);
+            let t2s = t.mul(two, s2);
+            let inv = t.recip(t2s);
+            t.neg(inv)
+        };
+        let mut clause_factors = Vec::new();
+        let mut pidx = 1;
+        for _ in 0..2 {
+            let mut prod: Option<Var> = None;
+            for _ in 0..2 {
+                let ws: Vec<Var> = (0..3)
+                    .map(|_| {
+                        let p = t.param(pidx);
+                        pidx += 1;
+                        p
+                    })
+                    .collect();
+                let z = t.affine(&ws, &xs, None);
+                let act = t.gaussian(z, coeff);
+                let gate = t.param(pidx);
+                pidx += 1;
+                let gated = t.mul(gate, act);
+                let f = t.sub(one, gated);
+                prod = Some(match prod {
+                    Some(p) => t.mul(p, f),
+                    None => f,
+                });
+            }
+            let or = t.sub(one, prod.unwrap());
+            let gate = t.param(pidx);
+            pidx += 1;
+            let om1 = t.sub(or, one);
+            let g = t.mul(gate, om1);
+            clause_factors.push(t.add(one, g));
+        }
+        let conj = t.mul(clause_factors[0], clause_factors[1]);
+        let dis = t.sub(one, conj);
+        let loss = t.mean_batch(dis);
+        let inputs = vec![vec![1.0, 2.0, -0.5], vec![0.3, -1.2, 2.2], vec![2.0, 0.1, 0.7]];
+        let params: Vec<f64> = (0..pidx).map(|i| 0.1 + 0.07 * i as f64).collect();
+        let (v_fast, g_fast) = t.eval_with_grad(loss, &inputs, &params);
+        let (v_ref, g_ref) = t.reference_eval_with_grad(loss, &inputs, &params);
+        assert!((v_fast - v_ref).abs() < 1e-12, "{v_fast} vs {v_ref}");
+        assert_eq!(g_fast.len(), g_ref.len());
+        for (a, b) in g_fast.iter().zip(&g_ref) {
+            assert!((a - b).abs() < 1e-12, "{g_fast:?} vs {g_ref:?}");
+        }
     }
 }

@@ -16,6 +16,10 @@ enum Step {
     Square(usize),
     ExpNeg(usize),
     DivSafe(usize, usize),
+    /// Fused `w₀·a + w₁·b (+ bias)` over existing nodes.
+    Affine(usize, usize, bool),
+    /// Fused `exp(−z²·k)` with a fixed small positive curvature.
+    Gaussian(usize),
 }
 
 fn steps(n: usize) -> impl Strategy<Value = Vec<Step>> {
@@ -27,6 +31,8 @@ fn steps(n: usize) -> impl Strategy<Value = Vec<Step>> {
             (0..n).prop_map(Step::Square),
             (0..n).prop_map(Step::ExpNeg),
             (0..n, 0..n).prop_map(|(a, b)| Step::DivSafe(a, b)),
+            (0..n, 0..n, proptest::bool::ANY).prop_map(|(a, b, bias)| Step::Affine(a, b, bias)),
+            (0..n).prop_map(Step::Gaussian),
         ],
         1..8,
     )
@@ -74,6 +80,18 @@ fn build(tape: &mut Tape, ops: &[Step]) -> Var {
                 let denom = tape.add(b2, one);
                 tape.div(a, denom)
             }
+            Step::Affine(a, b, bias) => {
+                let (a, b) = (pick(a), pick(b));
+                let ws = [nodes[1], nodes[2]]; // p0, p1 as weights
+                let bias = bias.then_some(nodes[3]); // const 0.5
+                tape.affine(&ws, &[a, b], bias)
+            }
+            Step::Gaussian(a) => {
+                // exp(-z^2 * 0.35): bounded, smooth.
+                let z = pick(a);
+                let coeff = tape.constant(-0.35);
+                tape.gaussian(z, coeff)
+            }
         };
         nodes.push(v);
     }
@@ -93,13 +111,66 @@ proptest! {
     ) {
         let mut tape = Tape::new();
         let out = build(&mut tape, &ops);
-        let (v, _) = tape.eval_with_grad(out, &[xs.clone()], &[p0, p1]);
+        let (v, _) = tape.eval_with_grad(out, std::slice::from_ref(&xs), &[p0, p1]);
         prop_assume!(v.is_finite() && v.abs() < 1e6);
         let report = check_gradients(&mut tape, out, &[xs], &[p0, p1], 1e-5);
         prop_assert!(
             report.max_rel_error < 1e-4,
             "gradient mismatch: {:?}", report
         );
+    }
+
+    /// The arena engine and the per-op reference interpreter (the seed
+    /// engine's semantics) agree on value and parameter gradients for
+    /// random graphs, including the fused affine/gaussian nodes.
+    #[test]
+    fn arena_engine_matches_reference_interpreter(
+        ops in steps(16),
+        p0 in -1.5f64..1.5,
+        p1 in -1.5f64..1.5,
+        xs in proptest::collection::vec(-2.0f64..2.0, 1..6),
+    ) {
+        let mut tape = Tape::new();
+        let out = build(&mut tape, &ops);
+        let (v_ref, g_ref) =
+            tape.reference_eval_with_grad(out, std::slice::from_ref(&xs), &[p0, p1]);
+        prop_assume!(v_ref.is_finite() && g_ref.iter().all(|g| g.is_finite()));
+        let (v_fast, g_fast) = tape.eval_with_grad(out, &[xs], &[p0, p1]);
+        prop_assert!(
+            (v_fast - v_ref).abs() <= 1e-12 * v_ref.abs().max(1.0),
+            "value mismatch: arena {v_fast} vs reference {v_ref}"
+        );
+        prop_assert_eq!(g_fast.len(), g_ref.len());
+        for (a, b) in g_fast.iter().zip(&g_ref) {
+            prop_assert!(
+                (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                "gradient mismatch: arena {:?} vs reference {:?}", g_fast, g_ref
+            );
+        }
+    }
+
+    /// Re-running the same graph with a different batch size (the arena
+    /// is re-laid-out) still matches the reference interpreter.
+    #[test]
+    fn arena_relayout_matches_reference(
+        ops in steps(12),
+        p0 in -1.0f64..1.0,
+        p1 in -1.0f64..1.0,
+        xs1 in proptest::collection::vec(-2.0f64..2.0, 1..5),
+        xs2 in proptest::collection::vec(-2.0f64..2.0, 5..9),
+    ) {
+        let mut tape = Tape::new();
+        let out = build(&mut tape, &ops);
+        for xs in [xs1, xs2] {
+            let (v_ref, g_ref) =
+                tape.reference_eval_with_grad(out, std::slice::from_ref(&xs), &[p0, p1]);
+            prop_assume!(v_ref.is_finite() && g_ref.iter().all(|g| g.is_finite()));
+            let (v_fast, g_fast) = tape.eval_with_grad(out, &[xs], &[p0, p1]);
+            prop_assert!((v_fast - v_ref).abs() <= 1e-12 * v_ref.abs().max(1.0));
+            for (a, b) in g_fast.iter().zip(&g_ref) {
+                prop_assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+            }
+        }
     }
 
     #[test]
@@ -124,8 +195,8 @@ proptest! {
         let s = t.sum_batch(x);
         let m = t.mean_batch(x);
         let n = xs.len() as f64;
-        let sv = t.forward(s, &[xs.clone()], &[]);
-        let mv = t.forward(m, &[xs.clone()], &[]);
+        let sv = t.forward(s, std::slice::from_ref(&xs), &[]);
+        let mv = t.forward(m, std::slice::from_ref(&xs), &[]);
         prop_assert!((sv - mv * n).abs() < 1e-9);
     }
 }

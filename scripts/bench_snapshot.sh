@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs the criterion suite and writes an aggregated snapshot to
+# BENCH_<date>[_<label>].json in the repo root.
+#
+# Usage:
+#   scripts/bench_snapshot.sh [label] [-- extra cargo-bench args]
+#
+# Examples:
+#   scripts/bench_snapshot.sh                 # BENCH_2026-07-28.json, full suite
+#   scripts/bench_snapshot.sh arena           # BENCH_2026-07-28_arena.json
+#   scripts/bench_snapshot.sh quick -- gcln_training   # filter benches
+#
+# Knobs (see vendor/criterion): BENCH_SAMPLES, BENCH_SAMPLE_MS,
+# RAYON_NUM_THREADS (thread count of the vendored rayon shim).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label=""
+if [ $# -gt 0 ] && [ "$1" != "--" ]; then
+  label="$1"
+  shift
+fi
+if [ "${1:-}" = "--" ]; then shift; fi
+
+shim_dir="target/criterion-shim"
+# Clear stale estimates so a filtered run cannot mix old results into
+# the snapshot.
+rm -f "$shim_dir"/*.json
+
+cargo bench -p gcln-bench -- "$@"
+
+date_tag="$(date +%F)"
+out="BENCH_${date_tag}${label:+_$label}.json"
+
+{
+  echo '{'
+  echo "  \"snapshot\": \"${label:-default}\","
+  echo "  \"date\": \"${date_tag}\","
+  echo "  \"host\": \"$(uname -srm)\","
+  echo "  \"rayon_num_threads\": \"${RAYON_NUM_THREADS:-default}\","
+  echo '  "results": ['
+  first=1
+  for f in "$shim_dir"/*.json; do
+    [ -e "$f" ] || continue
+    if [ $first -eq 0 ]; then echo ','; fi
+    first=0
+    printf '    %s' "$(tr -d '\n' < "$f")"
+  done
+  echo
+  echo '  ]'
+  echo '}'
+} > "$out"
+
+echo "wrote $out"

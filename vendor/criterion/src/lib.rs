@@ -1,0 +1,290 @@
+//! Offline shim of the `criterion` API surface this workspace uses.
+//!
+//! The build container cannot reach crates.io, so benches run against this
+//! minimal harness: warmup, fixed-count wall-clock sampling, and a JSON
+//! estimate written to `target/criterion-shim/<name>.json` that
+//! `scripts/bench_snapshot.sh` aggregates into `BENCH_<date>.json`.
+//!
+//! Knobs (environment):
+//! - `BENCH_SAMPLES` — samples per benchmark (default 20; groups can
+//!   lower it via [`BenchmarkGroup::sample_size`]).
+//! - `BENCH_SAMPLE_MS` — target wall-clock per sample in ms (default 200).
+//!
+//! A single positional CLI argument acts as a substring filter on
+//! benchmark names, like upstream; `--…` flags are accepted and ignored.
+
+use std::hint;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like upstream.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Timing result for one benchmark.
+#[derive(Clone, Debug)]
+pub struct Estimate {
+    /// Benchmark id (function or `group/function`).
+    pub name: String,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Sample standard deviation, nanoseconds.
+    pub stddev_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark harness (shim of `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    sample_ms: u64,
+    results: Vec<Estimate>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_size = std::env::var("BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20);
+        let sample_ms = std::env::var("BENCH_SAMPLE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(200);
+        Criterion { filter: None, sample_size: sample_size.max(5), sample_ms, results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from CLI args (positional arg = name filter).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.bench_inner(id.to_string(), sample_size, f);
+        self
+    }
+
+    /// Opens a named group (shim: groups only prefix the id and may lower
+    /// the sample count).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), sample_size: None }
+    }
+
+    fn bench_inner<F>(&mut self, name: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warmup + calibration: run once to estimate per-iteration cost.
+        let mut bench = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut bench);
+        let per_iter = bench.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(self.sample_ms);
+        let iters_per_sample = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut bench = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut bench);
+            samples_ns.push(bench.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let n = samples_ns.len();
+        let mean = samples_ns.iter().sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            samples_ns[n / 2]
+        } else {
+            (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2.0
+        };
+        let var = samples_ns.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / (n as f64 - 1.0).max(1.0);
+        let est = Estimate {
+            name: name.clone(),
+            mean_ns: mean,
+            median_ns: median,
+            stddev_ns: var.sqrt(),
+            samples: n,
+            iters_per_sample,
+        };
+        println!(
+            "{:<40} time: [{} {} {}]  ({} samples × {} iters)",
+            est.name,
+            fmt_ns(samples_ns[0]),
+            fmt_ns(median),
+            fmt_ns(samples_ns[n - 1]),
+            n,
+            iters_per_sample
+        );
+        write_estimate(&est);
+        self.results.push(est);
+    }
+
+    /// Prints the closing summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("\n{} benchmark(s) complete", self.results.len());
+    }
+}
+
+/// A benchmark group (shim of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    /// `None` inherits the harness default.
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(5));
+        self
+    }
+
+    /// Runs one benchmark inside the group (id becomes `group/name`).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.bench_inner(full, sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Per-sample measurement driver passed to `b.iter(...)` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, consuming each return value via
+    /// [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn write_estimate(est: &Estimate) {
+    let dir = target_dir().join("criterion-shim");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let safe: String = est
+        .name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("{safe}.json"));
+    let json = format!(
+        "{{\"name\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"stddev_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}\n",
+        est.name, est.mean_ns, est.median_ns, est.stddev_ns, est.samples, est.iters_per_sample
+    );
+    if let Ok(mut f) = std::fs::File::create(path) {
+        let _ = f.write_all(json.as_bytes());
+    }
+}
+
+fn target_dir() -> PathBuf {
+    // Bench binaries live in target/release/deps; walk up to `target`.
+    if let Ok(exe) = std::env::current_exe() {
+        for anc in exe.ancestors() {
+            if anc.file_name().is_some_and(|n| n == "target") {
+                return anc.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from("target")
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_closure() {
+        let mut c = Criterion { sample_size: 5, sample_ms: 1, ..Criterion::default() };
+        let mut calls = 0u64;
+        c.bench_function("shim_smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("wanted".into()), ..Criterion::default() };
+        c.bench_function("other", |b| b.iter(|| 1));
+        assert!(c.results.is_empty());
+    }
+}

@@ -1,0 +1,639 @@
+//! Offline shim of the `proptest` API surface this workspace uses.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal property-testing harness with the same spelling as upstream
+//! proptest: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, range and tuple strategies, [`collection::vec`], simple
+//! character-class regex string strategies, and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assume!`, and `prop_oneof!`
+//! macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs
+//!   (via the assertion message); it is not minimized.
+//! - **Deterministic seeding.** Each test derives its RNG stream from the
+//!   test function's name, so runs are reproducible; set `PROPTEST_CASES`
+//!   to change the case count (default 64).
+//! - Regex strategies support only sequences of character classes with
+//!   `{lo,hi}` repetition — exactly the patterns used in this repo.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{any, Arbitrary, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    /// Upstream re-exports the crate root as `prop` in its prelude.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Marker returned (via `Err`) when `prop_assume!` rejects a case.
+#[derive(Clone, Copy, Debug)]
+pub struct TestCaseReject;
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test RNG: FNV-1a over the test path, then the case
+/// index, fed to the shared `StdRng`.
+pub fn case_rng(test_path: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+pub mod strategy {
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A generator of values for property tests (no shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Recursive strategies: `f` maps a strategy for the inner value
+        /// to a strategy for one more level of structure. `depth` bounds
+        /// the recursion; the other two parameters (upstream's expected
+        /// size and branching factor) are accepted for compatibility and
+        /// ignored.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let expanded = f(cur).boxed();
+                cur = Union::new(vec![leaf.clone(), expanded]).boxed();
+            }
+            cur
+        }
+    }
+
+    /// Type-erased, clonable strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between several strategies (backs `prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over the given options.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, f64, f32);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)*) = self;
+                    ($($name.generate(rng),)*)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// String strategy from a simple regex: a sequence of literal
+    /// characters or character classes (`[a-z0-9\\n]`), each optionally
+    /// repeated with `{lo,hi}`. This covers the patterns used in the
+    /// workspace's property tests; anything fancier panics loudly.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // 1. one element: class or (escaped) literal
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = find_class_end(&chars, i);
+                let alpha = parse_class(&chars[i + 1..close]);
+                i = close + 1;
+                alpha
+            } else if chars[i] == '\\' {
+                let c = unescape(chars[i + 1]);
+                i += 2;
+                vec![c]
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            // 2. optional {lo,hi} repetition
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..].iter().position(|&c| c == '}').expect("unclosed {") + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((l, h)) => (l.parse().unwrap(), h.parse().unwrap()),
+                    None => {
+                        let n: usize = body.parse().unwrap();
+                        (n, n)
+                    }
+                };
+                i = close + 1;
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            assert!(!alphabet.is_empty(), "empty character class in pattern {pattern:?}");
+            let n = rng.gen_range(lo..=hi);
+            for _ in 0..n {
+                out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+            }
+        }
+        out
+    }
+
+    fn find_class_end(chars: &[char], open: usize) -> usize {
+        let mut j = open + 1;
+        while j < chars.len() {
+            match chars[j] {
+                '\\' => j += 2,
+                ']' => return j,
+                _ => j += 1,
+            }
+        }
+        panic!("unclosed character class");
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(body: &[char]) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            let c = if body[i] == '\\' {
+                i += 1;
+                unescape(body[i])
+            } else {
+                body[i]
+            };
+            // range `a-z` (a `-` as the final char is a literal)
+            if i + 2 < body.len() && body[i + 1] == '-' && body[i + 2] != ']' {
+                let hi = if body[i + 2] == '\\' {
+                    i += 1;
+                    unescape(body[i + 2])
+                } else {
+                    body[i + 2]
+                };
+                for v in c as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(v) {
+                        out.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical full-range strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for primitives, via the `Standard` distribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardAny<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for StandardAny<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = StandardAny<$t>;
+            fn arbitrary() -> Self::Strategy {
+                StandardAny(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, u128, i128, f64, f32);
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod bool {
+    //! Boolean strategies (`prop::bool::ANY`).
+    use super::*;
+
+    /// Strategy for a fair coin.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    /// Fair `true`/`false`.
+    pub const ANY: Any = Any;
+}
+
+pub mod num {
+    //! Numeric strategy helpers (placeholder module for prelude parity).
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable length specifications for [`vec`].
+    pub trait IntoLenRange {
+        /// Inclusive `(lo, hi)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoLenRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.end > self.start, "empty length range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoLenRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy producing `Vec`s whose length is drawn from `len` and
+    /// whose elements come from `element`.
+    pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S> {
+        let (lo, hi) = len.bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.lo..=self.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Uniform choice among the listed strategies (all must yield the same
+/// value type). Upstream's weighted form is not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Rejects the current case unless `cond` holds (the case is re-drawn and
+/// does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message; no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Declares property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// runs `cases` accepted cases with deterministically seeded inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let path = concat!(module_path!(), "::", stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u64 = 0;
+            let max_attempts = (config.cases as u64) * 16 + 64;
+            while accepted < config.cases && attempts < max_attempts {
+                let mut rng = $crate::case_rng(path, attempts);
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                // The closure gives `prop_assume!`'s early `return` a
+                // per-case scope.
+                #[allow(clippy::redundant_closure_call)]
+                let result = (|| -> ::core::result::Result<(), $crate::TestCaseReject> {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                })();
+                if result.is_ok() {
+                    accepted += 1;
+                }
+            }
+            // Upstream proptest errors out on excessive rejection; match
+            // that so a property gated by an over-strict (or newly
+            // broken) prop_assume! cannot quietly pass on a handful of
+            // trivial cases.
+            assert!(
+                accepted * 4 >= config.cases,
+                "property {} accepted only {}/{} cases (prop_assume rejected the rest) — \
+                 the property is effectively untested",
+                path,
+                accepted,
+                config.cases
+            );
+        }
+    )*};
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0..10usize, -5i128..=5), x in -1.0f64..1.0) {
+            // Tuple patterns are supported as a single binding.
+            prop_assert!(a < 10);
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec(0u32..=2, 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x <= 2));
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1i64), Just(2i64), 10i64..20]) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+        }
+
+        #[test]
+        fn assume_redraws(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn regex_strings(s in "[a-c0-1]{0,8}") {
+            prop_assert!(s.len() <= 8);
+            prop_assert!(s.chars().all(|c| "abc01".contains(c)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        use crate::strategy::Strategy;
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn leaves(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => usize::from(*v < 10),
+                Tree::Node(children) => children.iter().map(leaves).sum(),
+            }
+        }
+        let strat = (0i64..10).prop_map(Tree::Leaf).boxed().prop_recursive(3, 16, 3, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::case_rng("recursive", 0);
+        for _ in 0..50 {
+            let tree = strat.generate(&mut rng);
+            assert!(leaves(&tree) >= 1, "every tree bottoms out in leaves");
+        }
+    }
+}

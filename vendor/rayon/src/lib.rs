@@ -1,0 +1,349 @@
+//! Offline shim of the `rayon` API surface this workspace uses.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! small data-parallelism layer with rayon's spelling: `par_iter()` /
+//! `into_par_iter()` plus `map` / `for_each` / `collect`. Work is
+//! scheduled dynamically (atomic index queue) over `std::thread::scope`
+//! threads, and **results are always collected in input order**, so
+//! output is bit-identical regardless of thread count — the property the
+//! pipeline's reproducibility guarantee relies on.
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set (0 or 1 disables
+//! parallelism), else `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads the shim will use. `RAYON_NUM_THREADS=0` is
+/// treated like 1 (serial), matching the module docs.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS").ok().and_then(|s| s.parse::<usize>().ok()) {
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(0) => 1,
+        Some(n) => n,
+    }
+}
+
+/// Worker threads currently alive across *all* in-flight parallel maps.
+/// Real rayon nests everything into one global pool; this budget gives
+/// the shim the same property — a fan-out launched from inside another
+/// fan-out's worker finds the budget spent and runs serially instead of
+/// oversubscribing the machine (ncpu × ncpu threads of FP-heavy work).
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Reserves up to `want` worker slots against the global budget `cap`,
+/// returning how many were granted.
+fn reserve_workers(want: usize, cap: usize) -> usize {
+    let mut cur = ACTIVE_WORKERS.load(Ordering::Relaxed);
+    loop {
+        let grant = want.min(cap.saturating_sub(cur));
+        if grant == 0 {
+            return 0;
+        }
+        match ACTIVE_WORKERS.compare_exchange_weak(
+            cur,
+            cur + grant,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return grant,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Releases reserved worker slots on drop, so a panicking worker closure
+/// (re-raised by `std::thread::scope`) cannot leak the global budget and
+/// silently serialize every later fan-out in the process.
+struct BudgetGuard(usize);
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        ACTIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+    }
+}
+
+/// Order-preserving dynamic-scheduled parallel map; the execution core of
+/// every combinator in this shim.
+fn par_map_vec<T: Send, U: Send>(items: Vec<T>, f: &(impl Fn(T) -> U + Sync)) -> Vec<U> {
+    let cap = current_num_threads();
+    let want = cap.min(items.len());
+    let threads = if want > 1 { reserve_workers(want, cap) } else { 0 };
+    let _budget = BudgetGuard(threads);
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..work.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("work item taken twice");
+                let result = f(item);
+                *out[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker died before finishing"))
+        .collect()
+}
+
+/// A parallel iterator: a source of items plus a composed per-item
+/// transformation, executed by [`ParallelIterator::drive`].
+pub trait ParallelIterator: Sized {
+    /// Item type produced by this stage.
+    type Item: Send;
+
+    /// Executes the chain, returning items in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Parallel map.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Parallel filter-map.
+    fn filter_map<U, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> Option<U> + Sync + Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Parallel side-effecting loop.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f_unit(f)).drive();
+    }
+
+    /// Collects into any container buildable from an ordered `Vec`.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.drive())
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+}
+
+fn f_unit<T, F: Fn(T) + Sync + Send>(f: F) -> impl Fn(T) + Sync + Send {
+    move |t| f(t)
+}
+
+/// Root parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// See [`ParallelIterator::map`]. The parallel fan-out happens here: the
+/// base chain is driven first, then `f` runs across worker threads.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Sync + Send,
+{
+    type Item = U;
+    fn drive(self) -> Vec<U> {
+        par_map_vec(self.base.drive(), &self.f)
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+pub struct FilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> Option<U> + Sync + Send,
+{
+    type Item = U;
+    fn drive(self) -> Vec<U> {
+        par_map_vec(self.base.drive(), &self.f).into_iter().flatten().collect()
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<usize>;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `.par_iter()` on slices and vectors (iterates by reference).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::Mutex;
+
+    /// The worker budget is process-global, so tests that assert on it
+    /// (or rely on a particular pool width) must not overlap.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let _gate = GATE.lock().unwrap();
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_by_reference() {
+        let _gate = GATE.lock().unwrap();
+        let v = vec![1i64, 2, 3, 4];
+        let out: Vec<i64> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn range_source_and_sum() {
+        let _gate = GATE.lock().unwrap();
+        let s: usize = (0..100usize).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn filter_map_drops_none() {
+        let _gate = GATE.lock().unwrap();
+        let out: Vec<usize> =
+            (0..10usize).into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x)).collect();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn nested_fan_out_is_correct_and_releases_budget() {
+        let _gate = GATE.lock().unwrap();
+        // Inner fan-outs launched from outer workers must not corrupt
+        // results (they typically run serially once the budget is spent).
+        let out: Vec<Vec<usize>> = (0..8usize)
+            .into_par_iter()
+            .map(|i| (0..8usize).into_par_iter().map(move |j| i * 10 + j).collect())
+            .collect();
+        for (i, row) in out.iter().enumerate() {
+            let expect: Vec<usize> = (0..8).map(|j| i * 10 + j).collect();
+            assert_eq!(row, &expect);
+        }
+        // All reserved worker slots must be returned.
+        assert_eq!(super::ACTIVE_WORKERS.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn panicking_worker_does_not_leak_budget() {
+        let _gate = GATE.lock().unwrap();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..8usize)
+                .into_par_iter()
+                .map(|i| if i == 3 { panic!("boom") } else { i })
+                .collect();
+        });
+        assert!(result.is_err(), "worker panic must propagate");
+        assert_eq!(
+            super::ACTIVE_WORKERS.load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "budget must be released even when a worker panics"
+        );
+        // And the pool must still parallelize afterwards.
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn heavy_items_balance_dynamically() {
+        let _gate = GATE.lock().unwrap();
+        // Uneven work should still produce ordered output.
+        let out: Vec<u64> = (0..32usize)
+            .into_par_iter()
+            .map(|i| {
+                let mut acc = 0u64;
+                for k in 0..(i * 1000) {
+                    acc = acc.wrapping_add(k as u64);
+                }
+                acc.wrapping_add(i as u64)
+            })
+            .collect();
+        assert_eq!(out.len(), 32);
+        assert_eq!(out[0], 0);
+    }
+}
