@@ -6,7 +6,7 @@
 //! this reproduction exposes the same blow-up via its budget counter.
 
 use gcln::data::collect_loop_states;
-use gcln::extract::atom_fits;
+use gcln::extract::FitPoints;
 use gcln::terms::TermSpace;
 use gcln_logic::{Atom, Formula, Pred};
 use gcln_numeric::{Poly, Rat};
@@ -28,6 +28,8 @@ pub struct PieResult {
 /// constants over the term grammar, keeping those consistent with traces.
 pub fn pie_enumerate(problem: &Problem, loop_id: usize, budget: usize) -> PieResult {
     let points = collect_loop_states(problem, loop_id, 60, 1);
+    // One point conversion shared by every enumerated candidate.
+    let fit = FitPoints::new(&points);
     let space = TermSpace::enumerate(problem.extended_names(), problem.max_degree);
     let arity = problem.extended_names().len();
     let mut enumerated = 0;
@@ -51,7 +53,7 @@ pub fn pie_enumerate(problem: &Problem, loop_id: usize, budget: usize) -> PieRes
                         if poly.is_zero() || poly.is_constant() {
                             continue;
                         }
-                        if kept.len() < 64 && atom_fits(&poly, pred, &points, 1e-9) {
+                        if kept.len() < 64 && fit.fits(&poly, pred, 1e-9) {
                             // Output stays bounded; enumeration continues
                             // so the budget counter reflects the grammar.
                             kept.push(Formula::Atom(Atom::new(poly, pred)));

@@ -6,8 +6,10 @@ use gcln::data::{collect_loop_states, Dataset};
 use gcln::model::{train_equality_gcln, GclnConfig};
 use gcln::pipeline::{infer_invariants, PipelineConfig};
 use gcln::terms::{growth_filter, TermSpace};
+use gcln_checker::{check, Candidate, CheckerConfig};
 use gcln_lang::interp::{run_program, RunConfig};
-use gcln_numeric::groebner::{groebner_basis, GroebnerLimits};
+use gcln_logic::{parse_formula, CompiledFormula};
+use gcln_numeric::groebner::{groebner_basis, normal_form, GroebnerLimits};
 use gcln_numeric::Poly;
 use gcln_problems::nla::nla_problem;
 
@@ -37,8 +39,8 @@ fn bench_training_epochs(c: &mut Criterion) {
     });
 }
 
-fn bench_groebner(c: &mut Criterion) {
-    // cohencu's consecution system.
+/// cohencu's consecution system over (n, x, y, z).
+fn cohencu_gens() -> Vec<Poly> {
     let n = Poly::var(0, 4);
     let x = Poly::var(1, 4);
     let y = Poly::var(2, 4);
@@ -47,9 +49,70 @@ fn bench_groebner(c: &mut Criterion) {
     let c2 =
         &(&y - &(&n * &n).scale(3.into())) - &(&n.scale(3.into()) + &Poly::constant(1.into(), 4));
     let c3 = &(&z - &n.scale(6.into())) - &Poly::constant(6.into(), 4);
-    let gens = vec![c1, c2, c3];
+    vec![c1, c2, c3]
+}
+
+fn bench_groebner(c: &mut Criterion) {
+    let gens = cohencu_gens();
     c.bench_function("groebner_basis_cohencu", |b| {
         b.iter(|| groebner_basis(&gens, GroebnerLimits::default()).unwrap())
+    });
+
+    // The checker's inner symbolic loop: reduce each conjunct composed
+    // with the loop body modulo a prebuilt basis (basis construction is
+    // timed above; this isolates the S-poly-free reduction path).
+    let gens = cohencu_gens();
+    let gb = groebner_basis(&gens, GroebnerLimits::default()).unwrap();
+    let n = Poly::var(0, 4);
+    let x = Poly::var(1, 4);
+    let y = Poly::var(2, 4);
+    let z = Poly::var(3, 4);
+    let body = vec![&n + &Poly::constant(1.into(), 4), &x + &y, &y + &z, &z + &Poly::constant(6.into(), 4)];
+    let composed: Vec<Poly> = gens.iter().map(|p| p.subst(&body)).collect();
+    c.bench_function("groebner_reduce_cohencu", |b| {
+        b.iter(|| {
+            for p in &composed {
+                assert!(normal_form(p, &gb).is_zero());
+            }
+        })
+    });
+}
+
+fn bench_checker(c: &mut Criterion) {
+    // Full check() on sqrt1 with its ground-truth invariant: traces,
+    // initiation, Gröbner consecution, bounded mutations, post check.
+    let problem = nla_problem("sqrt1").unwrap();
+    let names = problem.extended_names();
+    let formula = parse_formula("t == 2 * a + 1 && s == a^2 + 2 * a + 1 && a^2 <= n", &names)
+        .expect("ground-truth formula");
+    let inputs: Vec<Vec<i128>> = (0..=60).map(|n| vec![n]).collect();
+    let extend = |s: &[i128]| s.to_vec();
+    let candidates = [Candidate { loop_id: 0, formula: formula.clone() }];
+    let config = CheckerConfig::default();
+    c.bench_function("checker_check_sqrt1", |b| {
+        b.iter(|| {
+            let report = check(&problem.program, &inputs, &extend, &candidates, &config);
+            assert!(report.is_valid());
+            report
+        })
+    });
+
+    // Compiled-formula evaluation over a state batch: the unit of work
+    // phases 1-3 repeat thousands of times per check() call.
+    let compiled = CompiledFormula::compile(&formula);
+    let states: Vec<Vec<i128>> = (0..60i128)
+        .map(|n| {
+            let a = (n as f64).sqrt().floor() as i128;
+            vec![n, a, (a + 1) * (a + 1), 2 * a + 1]
+        })
+        .collect();
+    let mut out = Vec::new();
+    c.bench_function("checker_eval_batch_sqrt1", |b| {
+        b.iter(|| {
+            compiled.eval_batch(&states, &mut out);
+            assert_eq!(out.len(), states.len());
+            out.iter().filter(|r| **r == Some(true)).count()
+        })
     });
 }
 
@@ -74,6 +137,7 @@ criterion_group!(
     bench_trace_collection,
     bench_training_epochs,
     bench_groebner,
+    bench_checker,
     bench_end_to_end
 );
 criterion_main!(benches);

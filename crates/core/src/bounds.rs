@@ -18,6 +18,7 @@ use gcln_tensor::optim::{project_unit_l2, Adam, OptimizerConfig};
 use gcln_tensor::tape::Tape;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Settings for bound learning.
 #[derive(Clone, Debug)]
@@ -78,10 +79,6 @@ pub fn learn_bounds(
     if points.is_empty() {
         return Vec::new();
     }
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    // Per-subset bound lists, each sorted tightest-first.
-    let mut results: Vec<Vec<LearnedBound>> = Vec::new();
-
     // Term indices by degree (excluding the constant term).
     let deg1: Vec<usize> = (0..space.len())
         .filter(|&i| space.monomials[i].degree() == 1)
@@ -110,25 +107,56 @@ pub fn learn_bounds(
         }
     }
 
-    for subset in subsets {
-        // Single terms admit the two fixed directions ±1 directly.
-        let directions: Vec<Vec<f64>> = if subset.len() == 1 {
-            vec![vec![1.0], vec![-1.0]]
-        } else {
-            train_directions(&subset, columns, config, &mut rng)
-        };
-        let mut subset_bounds: Vec<LearnedBound> = Vec::new();
-        for dir in directions {
-            if let Some(bound) = round_and_tighten(&subset, &dir, space, points, config) {
-                if bound.score >= config.activation_threshold {
-                    subset_bounds.push(bound);
+    // Random draws are taken up-front from one sequential stream (the
+    // exact order the historical per-subset loop consumed them), so the
+    // per-subset training below can fan out over rayon while staying
+    // bit-identical at any `RAYON_NUM_THREADS`. A trained subset of size
+    // `k` draws `2k` values for its two random inits plus one bias
+    // initialization per init (`2^k + 2` inits).
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let draw_plans: Vec<Vec<f64>> = subsets
+        .iter()
+        .map(|subset| {
+            let k = subset.len();
+            if k == 1 {
+                return Vec::new();
+            }
+            let num_inits = (1usize << k) + 2;
+            (0..2 * k + num_inits).map(|_| rng.gen::<f64>()).collect()
+        })
+        .collect();
+
+    // Per-subset bound lists, each sorted tightest-first; merged in
+    // subset order.
+    let results: Vec<Vec<LearnedBound>> = (0..subsets.len())
+        .into_par_iter()
+        .map(|si| {
+            let subset = &subsets[si];
+            // Single terms admit the two fixed directions ±1 directly.
+            let directions: Vec<Vec<f64>> = if subset.len() == 1 {
+                vec![vec![1.0], vec![-1.0]]
+            } else {
+                train_directions(subset, columns, config, &draw_plans[si])
+            };
+            // Raw term columns for this subset, evaluated once — every
+            // direction × denominator rounding below reuses them.
+            let raw_cols: Vec<Vec<f64>> = subset
+                .iter()
+                .map(|&t| points.iter().map(|p| space.monomials[t].eval_f64(p)).collect())
+                .collect();
+            let mut subset_bounds: Vec<LearnedBound> = Vec::new();
+            for dir in directions {
+                if let Some(bound) = round_and_tighten(subset, &dir, &raw_cols, space, config) {
+                    if bound.score >= config.activation_threshold {
+                        subset_bounds.push(bound);
+                    }
                 }
             }
-        }
-        subset_bounds
-            .sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
-        results.push(subset_bounds);
-    }
+            subset_bounds
+                .sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+            subset_bounds
+        })
+        .collect();
 
     // Dedup by polynomial and allocate the cap **round-robin across
     // subsets** (every subset's best bound is admitted before any subset
@@ -161,30 +189,27 @@ pub fn learn_bounds(
 
 /// Trains PBQU neurons (a couple of restarts) on the subset's normalized
 /// columns and returns the learned weight directions.
+///
+/// `draws` supplies the subset's pre-drawn random values (see
+/// [`learn_bounds`]) in the order the draws historically happened: two
+/// random init vectors first, then one bias value per init.
 fn train_directions(
     subset: &[usize],
     columns: &[Vec<f64>],
     config: &BoundsConfig,
-    rng: &mut StdRng,
+    draws: &[f64],
 ) -> Vec<Vec<f64>> {
     let k = subset.len();
+    let mut draws = draws.iter().copied();
+    let mut next_draw = move || draws.next().expect("draw plan covers all inits");
     let mut tape = Tape::new();
     let xs: Vec<_> = (0..k).map(|i| tape.input(i)).collect();
     let ws: Vec<_> = (0..k).map(|i| tape.param(i)).collect();
     let bias = tape.param(k);
     let z = tape.affine(&ws, &xs, Some(bias));
-    // PBQU: select(z, c2²/(z²+c2²), c1²/(z²+c1²)); loss = mean(1 − act).
-    let z2 = tape.square(z);
-    let c1sq = tape.constant(config.c1 * config.c1);
-    let c2sq = tape.constant(config.c2 * config.c2);
-    let d1 = tape.add(z2, c1sq);
-    let d2 = tape.add(z2, c2sq);
-    let below = tape.div(c1sq, d1);
-    let above = tape.div(c2sq, d2);
-    let act = tape.select_nonneg(z, above, below);
-    let one = tape.constant(1.0);
-    let dis = tape.sub(one, act);
-    let loss = tape.mean_batch(dis);
+    // PBQU: select(z, c2²/(z²+c2²), c1²/(z²+c1²)); loss = mean(1 − act),
+    // fused into a single tape node.
+    let loss = tape.pbqu_loss(z, config.c1, config.c2);
 
     let sub_columns: Vec<Vec<f64>> = subset.iter().map(|&t| columns[t].clone()).collect();
     // Restarts: every sign pattern up to global sign (canonical tight
@@ -199,7 +224,7 @@ fn train_directions(
         inits.push(w.iter().map(|x| -x).collect());
     }
     for _ in 0..2 {
-        let mut w: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        let mut w: Vec<f64> = (0..k).map(|_| next_draw() * 2.0 - 1.0).collect();
         project_unit_l2(&mut w);
         inits.push(w);
     }
@@ -231,7 +256,7 @@ fn train_directions(
     }
     for init in inits {
         let mut params: Vec<f64> = init;
-        params.push(rng.gen::<f64>() * 0.1);
+        params.push(next_draw() * 0.1);
         let mut adam = Adam::new(k + 1, config.optimizer);
         for _ in 0..config.epochs {
             let (_, grads) = tape.eval_with_grad(loss, &sub_columns, &params);
@@ -246,18 +271,20 @@ fn train_directions(
 /// Rounds a direction to small rationals, recomputes the bias exactly as
 /// the tightest value valid on all points (Theorem 4.2's "desired"
 /// inequality: valid everywhere, tight somewhere), and scores tightness
-/// by mean PBQU activation.
+/// by mean PBQU activation. `raw_cols` holds the subset's term columns
+/// over the raw points, computed once per subset.
 fn round_and_tighten(
     subset: &[usize],
     direction: &[f64],
+    raw_cols: &[Vec<f64>],
     space: &TermSpace,
-    points: &[Vec<f64>],
     config: &BoundsConfig,
 ) -> Option<LearnedBound> {
     let max_abs = direction.iter().fold(0.0f64, |a, &w| a.max(w.abs()));
     if max_abs < 1e-9 {
         return None;
     }
+    let num_points = raw_cols.first().map_or(0, Vec::len);
     let mut best: Option<LearnedBound> = None;
     for &den in &config.denominators {
         let Some(coeffs) = direction
@@ -270,13 +297,14 @@ fn round_and_tighten(
         if coeffs.iter().all(Rat::is_zero) {
             continue;
         }
-        // Evaluate w·t over raw points exactly where possible.
-        let mut values: Vec<f64> = Vec::with_capacity(points.len());
-        for p in points {
-            let v: f64 = subset
+        // Evaluate w·t over the cached raw columns.
+        let float_coeffs: Vec<f64> = coeffs.iter().map(Rat::to_f64).collect();
+        let mut values: Vec<f64> = Vec::with_capacity(num_points);
+        for pi in 0..num_points {
+            let v: f64 = float_coeffs
                 .iter()
-                .zip(&coeffs)
-                .map(|(&t, c)| c.to_f64() * space.monomials[t].eval_f64(p))
+                .zip(raw_cols)
+                .map(|(c, col)| c * col[pi])
                 .sum();
             values.push(v);
         }

@@ -11,7 +11,7 @@
 
 use crate::model::TrainedGcln;
 use crate::terms::TermSpace;
-use gcln_logic::{Atom, Formula, Pred};
+use gcln_logic::{Atom, CompiledPoly, Formula, Pred};
 use gcln_numeric::{Poly, Rat};
 
 /// Extraction settings.
@@ -38,19 +38,66 @@ fn rat_point(point: &[f64]) -> Option<Vec<Rat>> {
     point.iter().map(|&x| Rat::approximate(x, 1 << 20)).collect()
 }
 
-/// Whether `poly ⋈ 0` holds on every training point (exact where
-/// possible).
-pub fn atom_fits(poly: &Poly, pred: Pred, points: &[Vec<f64>], tol: f64) -> bool {
-    points.iter().all(|p| atom_holds_at(poly, pred, p, tol))
+/// Training points pre-converted for fit checking.
+///
+/// The exact-rational image of every point is computed **once** here;
+/// fitting a candidate atom then compiles its polynomial to a flat
+/// [`CompiledPoly`] and evaluates it over the cached conversions —
+/// previously both happened per `(atom, point)` pair, which dominated
+/// extraction time.
+pub struct FitPoints<'a> {
+    raw: &'a [Vec<f64>],
+    /// Exact rational image where representable and small enough for
+    /// exact arithmetic; `None` falls back to tolerance-based `f64`
+    /// evaluation for that point.
+    exact: Vec<Option<Vec<Rat>>>,
 }
 
-fn atom_holds_at(poly: &Poly, pred: Pred, point: &[f64], tol: f64) -> bool {
-    if let Some(rp) = rat_point(point) {
-        if rp.iter().all(|r| r.to_f64().abs() < 1e12) {
-            return pred.holds(poly.eval(&rp));
+impl<'a> FitPoints<'a> {
+    /// Pre-converts `points`.
+    pub fn new(points: &'a [Vec<f64>]) -> FitPoints<'a> {
+        let exact = points
+            .iter()
+            .map(|p| rat_point(p).filter(|rp| rp.iter().all(|r| r.to_f64().abs() < 1e12)))
+            .collect();
+        FitPoints { raw: points, exact }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Whether `poly ⋈ 0` holds on every point (exact where possible).
+    pub fn fits(&self, poly: &Poly, pred: Pred, tol: f64) -> bool {
+        let compiled = CompiledPoly::compile(poly);
+        (0..self.len()).all(|i| self.holds_at(&compiled, pred, i, tol))
+    }
+
+    /// Per-point satisfaction mask for `poly ⋈ 0`.
+    fn cover(&self, poly: &Poly, pred: Pred, tol: f64) -> Vec<bool> {
+        let compiled = CompiledPoly::compile(poly);
+        (0..self.len()).map(|i| self.holds_at(&compiled, pred, i, tol)).collect()
+    }
+
+    fn holds_at(&self, compiled: &CompiledPoly, pred: Pred, i: usize, tol: f64) -> bool {
+        match &self.exact[i] {
+            Some(rp) => pred.holds(compiled.eval_rat(rp)),
+            None => pred.holds_f64(compiled.eval_f64(&self.raw[i]), tol),
         }
     }
-    pred.holds_f64(poly.eval_f64(point), tol)
+}
+
+/// Whether `poly ⋈ 0` holds on every training point (exact where
+/// possible). Callers testing many atoms against the same points should
+/// build one [`FitPoints`] and use [`FitPoints::fits`].
+pub fn atom_fits(poly: &Poly, pred: Pred, points: &[Vec<f64>], tol: f64) -> bool {
+    FitPoints::new(points).fits(poly, pred, tol)
 }
 
 /// Rounds a literal's weights to a polynomial atom `p = 0` that fits the
@@ -59,6 +106,16 @@ pub fn round_equality(
     weights: &[f64],
     space: &TermSpace,
     points: &[Vec<f64>],
+    config: &ExtractConfig,
+) -> Option<Atom> {
+    round_equality_on(weights, space, &FitPoints::new(points), config)
+}
+
+/// [`round_equality`] over pre-converted points.
+fn round_equality_on(
+    weights: &[f64],
+    space: &TermSpace,
+    fit: &FitPoints<'_>,
     config: &ExtractConfig,
 ) -> Option<Atom> {
     let max_abs = weights.iter().fold(0.0f64, |a, &w| a.max(w.abs()));
@@ -77,8 +134,8 @@ pub fn round_equality(
         if poly.is_zero() || poly.is_constant() {
             continue;
         }
-        let poly = reduce_monomial_content(poly.normalize_content(), points, config.fit_tol);
-        if atom_fits(&poly, Pred::Eq, points, config.fit_tol) {
+        let poly = reduce_monomial_content(poly.normalize_content(), fit, config.fit_tol);
+        if fit.fits(&poly, Pred::Eq, config.fit_tol) {
             return Some(Atom::new(poly, Pred::Eq));
         }
     }
@@ -88,13 +145,13 @@ pub fn round_equality(
 /// If every term shares a monomial factor (e.g. `n·(2a − t + 1)`), try the
 /// factored-out polynomial; keep it when it still fits the data (it is
 /// the stronger invariant).
-fn reduce_monomial_content(poly: Poly, points: &[Vec<f64>], tol: f64) -> Poly {
+fn reduce_monomial_content(poly: Poly, fit: &FitPoints<'_>, tol: f64) -> Poly {
     let content = poly.monomial_content();
     if content.is_one() {
         return poly;
     }
     let reduced = poly.div_monomial(&content).normalize_content();
-    if !reduced.is_constant() && atom_fits(&reduced, Pred::Eq, points, tol) {
+    if !reduced.is_constant() && fit.fits(&reduced, Pred::Eq, tol) {
         reduced
     } else {
         poly
@@ -107,7 +164,7 @@ fn reduce_monomial_content(poly: Poly, points: &[Vec<f64>], tol: f64) -> Poly {
 fn round_equality_partial(
     weights: &[f64],
     space: &TermSpace,
-    points: &[Vec<f64>],
+    fit: &FitPoints<'_>,
     config: &ExtractConfig,
 ) -> Option<(Atom, Vec<bool>)> {
     let max_abs = weights.iter().fold(0.0f64, |a, &w| a.max(w.abs()));
@@ -127,11 +184,8 @@ fn round_equality_partial(
         if poly.is_zero() || poly.is_constant() {
             continue;
         }
-        let poly = reduce_monomial_content(poly.normalize_content(), points, config.fit_tol);
-        let cover: Vec<bool> = points
-            .iter()
-            .map(|p| atom_holds_at(&poly, Pred::Eq, p, config.fit_tol))
-            .collect();
+        let poly = reduce_monomial_content(poly.normalize_content(), fit, config.fit_tol);
+        let cover = fit.cover(&poly, Pred::Eq, config.fit_tol);
         let count = cover.iter().filter(|&&b| b).count();
         if best.as_ref().is_none_or(|(_, _, c)| count > *c) {
             best = Some((Atom::new(poly, Pred::Eq), cover, count));
@@ -148,6 +202,7 @@ pub fn extract_formula(
     points: &[Vec<f64>],
     config: &ExtractConfig,
 ) -> Formula {
+    let fit = FitPoints::new(points);
     let mut clauses: Vec<Formula> = Vec::new();
     for (ci, &cg) in model.clause_gates.iter().enumerate() {
         if cg <= config.gate_threshold {
@@ -163,7 +218,7 @@ pub fn extract_formula(
             1 => {
                 // Single literal: must fit everything.
                 if let Some(atom) =
-                    round_equality(&model.weights[ci][open_literals[0]], space, points, config)
+                    round_equality_on(&model.weights[ci][open_literals[0]], space, &fit, config)
                 {
                     clauses.push(Formula::Atom(atom));
                 }
@@ -175,7 +230,7 @@ pub fn extract_formula(
                 let mut covered = vec![false; points.len()];
                 for &li in &open_literals {
                     if let Some((atom, cover)) =
-                        round_equality_partial(&model.weights[ci][li], space, points, config)
+                        round_equality_partial(&model.weights[ci][li], space, &fit, config)
                     {
                         for (c, &k) in covered.iter_mut().zip(&cover) {
                             *c = *c || k;

@@ -48,6 +48,7 @@ pub fn kernel_equalities(
     }
     let matrix = Matrix::from_rows(rows);
     let arity = space.names.len();
+    let fit = crate::extract::FitPoints::new(points);
     let mut out = Vec::new();
     for v in matrix.null_space() {
         if v.iter().any(|c| c.numer().abs() > max_coefficient) {
@@ -63,7 +64,7 @@ pub fn kernel_equalities(
         let poly = poly.normalize_content();
         // Null-space membership makes the fit exact on the used rows;
         // validate on everything anyway (rows were capped).
-        if crate::extract::atom_fits(&poly, Pred::Eq, points, 1e-6) {
+        if fit.fits(&poly, Pred::Eq, 1e-6) {
             out.push(Atom::new(poly, Pred::Eq));
         }
     }

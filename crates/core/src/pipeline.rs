@@ -3,7 +3,7 @@
 
 use crate::bounds::{learn_bounds, BoundsConfig};
 use crate::data::{collect_loop_states, Dataset};
-use crate::extract::{atom_fits, extract_formula, ExtractConfig};
+use crate::extract::{extract_formula, ExtractConfig, FitPoints};
 use crate::fractional::{fractional_points, FractionalConfig};
 use crate::model::{train_equality_gcln, GclnConfig};
 use crate::terms::{growth_filter, growth_filter_with_duplicates, TermSpace};
@@ -421,11 +421,12 @@ fn learn_fractional(
         subs.push(Poly::constant(c, ext_arity));
     }
     let pinned = relaxed.subst(&subs).simplify();
+    let fit = FitPoints::new(integer_points);
     let mut out = Vec::new();
     for atom in pinned.atoms() {
         if atom.pred == Pred::Eq
             && !atom.poly.is_zero()
-            && atom_fits(&atom.poly, Pred::Eq, integer_points, config.extract.fit_tol)
+            && fit.fits(&atom.poly, Pred::Eq, config.extract.fit_tol)
         {
             let mut a = atom.clone();
             a.poly = a.poly.normalize_content();

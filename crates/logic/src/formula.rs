@@ -191,9 +191,49 @@ impl Formula {
     }
 
     /// Evaluation at an integer point (convenience for checker grids).
+    ///
+    /// Hot loops should compile the formula once with
+    /// [`crate::compile::CompiledFormula`] instead of calling this
+    /// repeatedly.
     pub fn eval_i128(&self, point: &[i128]) -> bool {
         let rats: Vec<Rat> = point.iter().map(|&n| Rat::integer(n)).collect();
         self.eval(&rats)
+    }
+
+    /// Checked exact evaluation: `None` on `i128` overflow anywhere in
+    /// the computation (where [`Formula::eval`] would panic). Evaluates
+    /// atoms in the same left-to-right short-circuit order as
+    /// [`Formula::eval`].
+    pub fn try_eval(&self, point: &[Rat]) -> Option<bool> {
+        match self {
+            Formula::True => Some(true),
+            Formula::False => Some(false),
+            Formula::Atom(a) => Some(a.pred.holds(a.poly.try_eval(point)?)),
+            Formula::And(fs) => {
+                for f in fs {
+                    if !f.try_eval(point)? {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+            Formula::Or(fs) => {
+                for f in fs {
+                    if f.try_eval(point)? {
+                        return Some(true);
+                    }
+                }
+                Some(false)
+            }
+            Formula::Not(f) => f.try_eval(point).map(|b| !b),
+        }
+    }
+
+    /// Checked [`Formula::eval_i128`]: `None` instead of panicking on
+    /// overflow.
+    pub fn try_eval_i128(&self, point: &[i128]) -> Option<bool> {
+        let rats: Vec<Rat> = point.iter().map(|&n| Rat::integer(n)).collect();
+        self.try_eval(&rats)
     }
 
     /// The conjuncts of a top-level conjunction (a non-`And` formula is a

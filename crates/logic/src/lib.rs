@@ -5,6 +5,9 @@
 //! - [`formula`]: quantifier-free SMT formulas over polynomial atoms
 //!   (`p ⋈ 0`), with exact ([`gcln_numeric::Rat`]) and float evaluation,
 //!   simplification, substitution and pretty-printing.
+//! - [`compile`]: formulas compiled to flat bytecode for the checker's
+//!   repeated integer-state evaluation (no recursion, no per-call
+//!   allocation, overflow-checked `i128` arithmetic).
 //! - [`parse`]: a text syntax for formulas, used to state ground-truth
 //!   invariants.
 //! - [`fuzzy`]: Basic Fuzzy Logic t-norms/t-conorms and the paper's gated
@@ -23,11 +26,13 @@
 //! # Ok::<(), gcln_logic::parse::FormulaParseError>(())
 //! ```
 
+pub mod compile;
 pub mod formula;
 pub mod fuzzy;
 pub mod parse;
 pub mod relax;
 
+pub use compile::{CompiledFormula, CompiledPoly};
 pub use formula::{Atom, Formula, Pred};
 pub use fuzzy::TNorm;
 pub use parse::{parse_formula, parse_poly};

@@ -1,5 +1,6 @@
 //! Property tests for formulas and relaxations.
 
+use gcln_logic::compile::CompiledFormula;
 use gcln_logic::formula::{Atom, Formula, Pred};
 use gcln_logic::fuzzy::{gated_tconorm, gated_tnorm, TNorm};
 use gcln_logic::parse_formula;
@@ -123,6 +124,65 @@ proptest! {
         let v_lo = gcln_logic::relax::pbqu_ge(lo, 1.0, 50.0);
         let v_hi = gcln_logic::relax::pbqu_ge(hi, 1.0, 50.0);
         prop_assert!(v_lo >= v_hi);
+    }
+
+    #[test]
+    fn compiled_matches_tree_eval_on_small_points(
+        f in formula(),
+        x in -6i128..=6,
+        y in -6i128..=6,
+    ) {
+        // Small coefficients, exponents, and points cannot overflow: the
+        // bytecode evaluator must agree with the tree walker exactly.
+        let compiled = CompiledFormula::compile(&f);
+        prop_assert_eq!(compiled.eval(&[x, y]), Some(f.eval_i128(&[x, y])));
+    }
+
+    #[test]
+    fn compiled_agrees_with_checked_tree_eval_on_huge_points(
+        f in formula(),
+        sx in -3i128..=3,
+        sy in -3i128..=3,
+    ) {
+        // Points near 2^66 overflow i128 inside cubic terms. The checked
+        // tree evaluator is the semantic reference: wherever it is
+        // defined the bytecode must match, and a bytecode `None`
+        // (overflow even through the exact fallback) implies the tree
+        // walker would have overflowed too.
+        let point = [sx << 66, sy << 66];
+        let compiled = CompiledFormula::compile(&f);
+        let fast = compiled.eval(&point);
+        let reference = f.try_eval_i128(&point);
+        if let Some(b) = reference {
+            prop_assert_eq!(fast, Some(b), "bytecode diverged from checked tree eval");
+        }
+        if fast.is_none() {
+            prop_assert_eq!(reference, None, "bytecode overflowed where tree eval succeeds");
+        }
+    }
+
+    #[test]
+    fn compiled_batch_matches_tree_eval(f in formula()) {
+        let compiled = CompiledFormula::compile(&f);
+        let points: Vec<Vec<i128>> =
+            (-3..=3).flat_map(|x| (-3..=3).map(move |y| vec![x, y])).collect();
+        let mut out = Vec::new();
+        compiled.eval_batch(&points, &mut out);
+        prop_assert_eq!(out.len(), points.len());
+        for (p, r) in points.iter().zip(out) {
+            prop_assert_eq!(r, Some(f.eval_i128(p)));
+        }
+    }
+
+    #[test]
+    fn try_eval_agrees_with_eval_when_defined(
+        f in formula(),
+        x in -6i128..=6,
+        y in -6i128..=6,
+    ) {
+        // On small points the checked evaluator never bails and matches
+        // the panicking one.
+        prop_assert_eq!(f.try_eval_i128(&[x, y]), Some(f.eval_i128(&[x, y])));
     }
 
     #[test]

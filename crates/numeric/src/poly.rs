@@ -8,11 +8,44 @@
 //! Monomials are exponent vectors over a fixed arity; the term order is
 //! graded reverse lexicographic (grevlex), the usual default for Gröbner
 //! computations.
+//!
+//! # Representation
+//!
+//! Both types are optimized for the Gröbner/checker hot path:
+//!
+//! - [`Monomial`] packs its exponent vector into a single `u64` (one nibble
+//!   per variable) whenever `arity ≤ 16` and every exponent is `≤ 15`, with
+//!   a heap spill path above those limits. Packed monomials compare in
+//!   grevlex order with two integer comparisons and multiply with one
+//!   addition when no nibble can carry.
+//! - [`Poly`] stores its terms as a flat `Vec<(Monomial, Rat)>` sorted in
+//!   ascending grevlex order (no `BTreeMap` nodes, no per-term heap
+//!   traffic). Arithmetic is implemented as sorted-list merges, and the
+//!   Gröbner layer reuses scratch buffers across reductions via the
+//!   `pub(crate)` term accessors.
 
 use crate::rat::Rat;
 use std::cmp::Ordering;
-use std::collections::BTreeMap;
 use std::fmt;
+
+/// Max arity representable in the packed monomial encoding.
+const PACK_ARITY: usize = 16;
+/// Max per-variable exponent representable in the packed encoding.
+const PACK_MAX_EXP: u32 = 15;
+/// Nibbles whose high bit is set; used to detect possible carries in the
+/// packed-multiply fast path.
+const HIGH_NIBBLE_BITS: u64 = 0x8888_8888_8888_8888;
+
+/// Internal monomial representation (canonical: `Small` is used whenever
+/// the exponent vector fits, so derived `Eq`/`Hash` are consistent).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Repr {
+    /// `arity ≤ 16`, every exponent `≤ 15`: variable `i` occupies bits
+    /// `4i..4i+4` of `key`.
+    Small { arity: u8, degree: u16, key: u64 },
+    /// Spill path for wider or higher-degree exponent vectors.
+    Big(Box<[u32]>),
+}
 
 /// A monomial: an exponent vector over `arity` variables.
 ///
@@ -30,18 +63,40 @@ use std::fmt;
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Monomial {
-    exps: Vec<u32>,
+    repr: Repr,
 }
 
 impl Monomial {
     /// Creates a monomial from an exponent vector.
     pub fn new(exps: Vec<u32>) -> Monomial {
-        Monomial { exps }
+        Monomial::from_exps(&exps)
+    }
+
+    /// Creates a monomial from an exponent slice, choosing the packed
+    /// representation whenever it fits.
+    pub fn from_exps(exps: &[u32]) -> Monomial {
+        if exps.len() <= PACK_ARITY && exps.iter().all(|&e| e <= PACK_MAX_EXP) {
+            let mut key = 0u64;
+            let mut degree = 0u32;
+            for (i, &e) in exps.iter().enumerate() {
+                key |= u64::from(e) << (4 * i);
+                degree += e;
+            }
+            Monomial {
+                repr: Repr::Small { arity: exps.len() as u8, degree: degree as u16, key },
+            }
+        } else {
+            Monomial { repr: Repr::Big(exps.into()) }
+        }
     }
 
     /// The constant monomial `1` over `arity` variables.
     pub fn one(arity: usize) -> Monomial {
-        Monomial { exps: vec![0; arity] }
+        if arity <= PACK_ARITY {
+            Monomial { repr: Repr::Small { arity: arity as u8, degree: 0, key: 0 } }
+        } else {
+            Monomial { repr: Repr::Big(vec![0; arity].into()) }
+        }
     }
 
     /// The monomial `x_i` over `arity` variables.
@@ -53,27 +108,58 @@ impl Monomial {
         assert!(i < arity, "variable index out of range");
         let mut exps = vec![0; arity];
         exps[i] = 1;
-        Monomial { exps }
+        Monomial::from_exps(&exps)
     }
 
-    /// The exponent vector.
-    pub fn exps(&self) -> &[u32] {
-        &self.exps
+    /// The exponent vector (unpacked).
+    pub fn exps(&self) -> Vec<u32> {
+        match &self.repr {
+            Repr::Small { arity, key, .. } => {
+                (0..*arity as usize).map(|i| ((key >> (4 * i)) & 0xF) as u32).collect()
+            }
+            Repr::Big(exps) => exps.to_vec(),
+        }
+    }
+
+    /// The exponent of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= arity` (the spill path panics via slice indexing;
+    /// the packed path debug-asserts).
+    #[inline]
+    pub fn exp(&self, i: usize) -> u32 {
+        match &self.repr {
+            Repr::Small { arity, key, .. } => {
+                debug_assert!(i < *arity as usize, "variable index out of range");
+                ((key >> (4 * i)) & 0xF) as u32
+            }
+            Repr::Big(exps) => exps[i],
+        }
     }
 
     /// Number of variables this monomial ranges over.
+    #[inline]
     pub fn arity(&self) -> usize {
-        self.exps.len()
+        match &self.repr {
+            Repr::Small { arity, .. } => *arity as usize,
+            Repr::Big(exps) => exps.len(),
+        }
     }
 
     /// Total degree.
+    #[inline]
     pub fn degree(&self) -> u32 {
-        self.exps.iter().sum()
+        match &self.repr {
+            Repr::Small { degree, .. } => u32::from(*degree),
+            Repr::Big(exps) => exps.iter().sum(),
+        }
     }
 
     /// Whether this is the constant monomial.
+    #[inline]
     pub fn is_one(&self) -> bool {
-        self.exps.iter().all(|&e| e == 0)
+        self.degree() == 0
     }
 
     /// Product of two monomials.
@@ -83,12 +169,28 @@ impl Monomial {
     /// Panics if arities differ.
     pub fn mul(&self, other: &Monomial) -> Monomial {
         assert_eq!(self.arity(), other.arity(), "arity mismatch");
-        Monomial { exps: self.exps.iter().zip(&other.exps).map(|(a, b)| a + b).collect() }
+        if let (
+            Repr::Small { arity, degree: d1, key: k1 },
+            Repr::Small { degree: d2, key: k2, .. },
+        ) = (&self.repr, &other.repr)
+        {
+            // Every exponent ≤ 7 on both sides ⇒ nibble sums ≤ 14: the
+            // packed keys add without carrying between variables.
+            if (k1 | k2) & HIGH_NIBBLE_BITS == 0 {
+                return Monomial {
+                    repr: Repr::Small { arity: *arity, degree: d1 + d2, key: k1 + k2 },
+                };
+            }
+        }
+        let exps: Vec<u32> = (0..self.arity()).map(|i| self.exp(i) + other.exp(i)).collect();
+        Monomial::from_exps(&exps)
     }
 
     /// Whether `self` divides `other` (componentwise ≤).
     pub fn divides(&self, other: &Monomial) -> bool {
-        self.arity() == other.arity() && self.exps.iter().zip(&other.exps).all(|(a, b)| a <= b)
+        self.arity() == other.arity()
+            && self.degree() <= other.degree()
+            && (0..self.arity()).all(|i| self.exp(i) <= other.exp(i))
     }
 
     /// The quotient `other / self`.
@@ -98,7 +200,16 @@ impl Monomial {
     /// Panics if `self` does not divide `other`.
     pub fn quotient(&self, other: &Monomial) -> Monomial {
         assert!(self.divides(other), "monomial division is not exact");
-        Monomial { exps: other.exps.iter().zip(&self.exps).map(|(b, a)| b - a).collect() }
+        if let (
+            Repr::Small { degree: d1, key: k1, .. },
+            Repr::Small { arity, degree: d2, key: k2 },
+        ) = (&self.repr, &other.repr)
+        {
+            // Componentwise ≤ means the nibble subtraction never borrows.
+            return Monomial { repr: Repr::Small { arity: *arity, degree: d2 - d1, key: k2 - k1 } };
+        }
+        let exps: Vec<u32> = (0..self.arity()).map(|i| other.exp(i) - self.exp(i)).collect();
+        Monomial::from_exps(&exps)
     }
 
     /// Least common multiple (componentwise max).
@@ -108,7 +219,8 @@ impl Monomial {
     /// Panics if arities differ.
     pub fn lcm(&self, other: &Monomial) -> Monomial {
         assert_eq!(self.arity(), other.arity(), "arity mismatch");
-        Monomial { exps: self.exps.iter().zip(&other.exps).map(|(a, b)| *a.max(b)).collect() }
+        let exps: Vec<u32> = (0..self.arity()).map(|i| self.exp(i).max(other.exp(i))).collect();
+        Monomial::from_exps(&exps)
     }
 
     /// Evaluates at a rational point.
@@ -118,18 +230,26 @@ impl Monomial {
     /// Panics if `point.len() != self.arity()`.
     pub fn eval(&self, point: &[Rat]) -> Rat {
         assert_eq!(point.len(), self.arity(), "point arity mismatch");
-        self.exps
-            .iter()
-            .zip(point)
-            .fold(Rat::ONE, |acc, (&e, x)| acc * x.pow(e as i32))
+        let mut acc = Rat::ONE;
+        for (i, x) in point.iter().enumerate() {
+            let e = self.exp(i);
+            if e > 0 {
+                acc *= x.pow(e as i32);
+            }
+        }
+        acc
     }
 
     /// Evaluates at an `f64` point.
     pub fn eval_f64(&self, point: &[f64]) -> f64 {
-        self.exps
-            .iter()
-            .zip(point)
-            .fold(1.0, |acc, (&e, x)| acc * x.powi(e as i32))
+        let mut acc = 1.0;
+        for (i, x) in point.iter().enumerate().take(self.arity()) {
+            let e = self.exp(i);
+            if e > 0 {
+                acc *= x.powi(e as i32);
+            }
+        }
+        acc
     }
 
     /// Renders with the given variable names, e.g. `x^2*y`.
@@ -141,7 +261,8 @@ impl Monomial {
                     return write!(f, "1");
                 }
                 let mut first = true;
-                for (i, &e) in self.0.exps.iter().enumerate() {
+                for i in 0..self.0.arity() {
+                    let e = self.0.exp(i);
                     if e == 0 {
                         continue;
                     }
@@ -174,10 +295,23 @@ impl Ord for Monomial {
     /// exponent on the *last* variable where they differ.
     fn cmp(&self, other: &Self) -> Ordering {
         debug_assert_eq!(self.arity(), other.arity(), "comparing monomials of different arity");
+        if let (
+            Repr::Small { arity: a1, degree: d1, key: k1 },
+            Repr::Small { arity: a2, degree: d2, key: k2 },
+        ) = (&self.repr, &other.repr)
+        {
+            if a1 == a2 {
+                // Equal degree: the most significant differing nibble is
+                // the *last* variable where the exponents differ, and the
+                // monomial with the smaller exponent there is greater —
+                // so the key comparison is reversed.
+                return d1.cmp(d2).then_with(|| k2.cmp(k1));
+            }
+        }
         match self.degree().cmp(&other.degree()) {
             Ordering::Equal => {
-                for (a, b) in self.exps.iter().zip(&other.exps).rev() {
-                    match a.cmp(b) {
+                for i in (0..self.arity()).rev() {
+                    match self.exp(i).cmp(&other.exp(i)) {
                         Ordering::Equal => continue,
                         Ordering::Less => return Ordering::Greater,
                         Ordering::Greater => return Ordering::Less,
@@ -190,10 +324,13 @@ impl Ord for Monomial {
     }
 }
 
+/// One `(monomial, coefficient)` entry of a [`Poly`].
+pub(crate) type Term = (Monomial, Rat);
+
 /// A multivariate polynomial with [`Rat`] coefficients over a fixed arity.
 ///
 /// Zero-coefficient terms are never stored; the zero polynomial has an empty
-/// term map.
+/// term list. Terms are kept sorted in ascending grevlex order.
 ///
 /// # Examples
 ///
@@ -208,20 +345,20 @@ impl Ord for Monomial {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Poly {
     arity: usize,
-    terms: BTreeMap<Monomial, Rat>,
+    terms: Vec<Term>,
 }
 
 impl Poly {
     /// The zero polynomial over `arity` variables.
     pub fn zero(arity: usize) -> Poly {
-        Poly { arity, terms: BTreeMap::new() }
+        Poly { arity, terms: Vec::new() }
     }
 
     /// A constant polynomial.
     pub fn constant(c: Rat, arity: usize) -> Poly {
-        let mut terms = BTreeMap::new();
+        let mut terms = Vec::new();
         if !c.is_zero() {
-            terms.insert(Monomial::one(arity), c);
+            terms.push((Monomial::one(arity), c));
         }
         Poly { arity, terms }
     }
@@ -238,9 +375,9 @@ impl Poly {
     /// A single-term polynomial `c * m`.
     pub fn from_monomial(m: Monomial, c: Rat) -> Poly {
         let arity = m.arity();
-        let mut terms = BTreeMap::new();
+        let mut terms = Vec::new();
         if !c.is_zero() {
-            terms.insert(m, c);
+            terms.push((m, c));
         }
         Poly { arity, terms }
     }
@@ -260,6 +397,22 @@ impl Poly {
         p
     }
 
+    /// Builds a polynomial directly from a term list that is already in
+    /// ascending grevlex order with no duplicates or zero coefficients.
+    pub(crate) fn from_sorted_terms(arity: usize, terms: Vec<Term>) -> Poly {
+        debug_assert!(
+            terms.windows(2).all(|w| w[0].0 < w[1].0),
+            "terms must be strictly ascending"
+        );
+        debug_assert!(terms.iter().all(|(_, c)| !c.is_zero()), "zero coefficient stored");
+        Poly { arity, terms }
+    }
+
+    /// The raw term list (ascending grevlex).
+    pub(crate) fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
     /// Number of variables.
     pub fn arity(&self) -> usize {
         self.arity
@@ -272,17 +425,18 @@ impl Poly {
 
     /// Whether this polynomial is a constant (including zero).
     pub fn is_constant(&self) -> bool {
-        self.terms.keys().all(Monomial::is_one)
+        self.terms.iter().all(|(m, _)| m.is_one())
     }
 
     /// Total degree (zero polynomial has degree 0).
     pub fn degree(&self) -> u32 {
-        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+        // Terms are grevlex-sorted, so the last term has maximal degree.
+        self.terms.last().map_or(0, |(m, _)| m.degree())
     }
 
     /// Iterates over `(monomial, coefficient)` pairs in ascending grevlex order.
     pub fn iter(&self) -> impl Iterator<Item = (&Monomial, &Rat)> {
-        self.terms.iter()
+        self.terms.iter().map(|(m, c)| (m, c))
     }
 
     /// Number of nonzero terms.
@@ -292,12 +446,15 @@ impl Poly {
 
     /// The leading (grevlex-largest) term, or `None` for the zero polynomial.
     pub fn leading_term(&self) -> Option<(&Monomial, &Rat)> {
-        self.terms.iter().next_back()
+        self.terms.last().map(|(m, c)| (m, c))
     }
 
     /// Coefficient of a monomial (zero if absent).
     pub fn coeff(&self, m: &Monomial) -> Rat {
-        self.terms.get(m).copied().unwrap_or(Rat::ZERO)
+        match self.terms.binary_search_by(|(mm, _)| mm.cmp(m)) {
+            Ok(i) => self.terms[i].1,
+            Err(_) => Rat::ZERO,
+        }
     }
 
     /// Adds `c * m` into the polynomial.
@@ -305,18 +462,14 @@ impl Poly {
         if c.is_zero() {
             return;
         }
-        let entry = self.terms.entry(m).or_insert(Rat::ZERO);
-        *entry += c;
-        if entry.is_zero() {
-            // Re-borrow to remove; find the key we just zeroed.
-            let key = self
-                .terms
-                .iter()
-                .find(|(_, v)| v.is_zero())
-                .map(|(k, _)| k.clone());
-            if let Some(k) = key {
-                self.terms.remove(&k);
+        match self.terms.binary_search_by(|(mm, _)| mm.cmp(&m)) {
+            Ok(i) => {
+                self.terms[i].1 += c;
+                if self.terms[i].1.is_zero() {
+                    self.terms.remove(i);
+                }
             }
+            Err(i) => self.terms.insert(i, (m, c)),
         }
     }
 
@@ -336,6 +489,8 @@ impl Poly {
         if c.is_zero() {
             return Poly::zero(self.arity);
         }
+        // Multiplying every term by the same monomial preserves grevlex
+        // order (monomial orders are multiplication-compatible).
         Poly {
             arity: self.arity,
             terms: self.terms.iter().map(|(mm, v)| (mm.mul(m), *v * c)).collect(),
@@ -346,11 +501,29 @@ impl Poly {
     ///
     /// # Panics
     ///
-    /// Panics if `point.len() != self.arity()`.
+    /// Panics if `point.len() != self.arity()` or on `i128` overflow.
     pub fn eval(&self, point: &[Rat]) -> Rat {
         self.terms
             .iter()
             .fold(Rat::ZERO, |acc, (m, c)| acc + *c * m.eval(point))
+    }
+
+    /// Checked evaluation at a rational point: `None` on `i128` overflow
+    /// anywhere in the computation (where [`Poly::eval`] would panic).
+    pub fn try_eval(&self, point: &[Rat]) -> Option<Rat> {
+        assert_eq!(point.len(), self.arity, "point arity mismatch");
+        let mut acc = Rat::ZERO;
+        for (m, c) in &self.terms {
+            let mut term = *c;
+            for (i, x) in point.iter().enumerate() {
+                let e = m.exp(i);
+                if e > 0 {
+                    term = term.checked_mul(&x.checked_pow(e)?)?;
+                }
+            }
+            acc = acc.checked_add(&term)?;
+        }
+        Some(acc)
     }
 
     /// Evaluates at an `f64` point.
@@ -378,9 +551,9 @@ impl Poly {
         let mut result = Poly::zero(out_arity);
         for (m, c) in &self.terms {
             let mut term = Poly::constant(*c, out_arity);
-            for (i, &e) in m.exps().iter().enumerate() {
-                for _ in 0..e {
-                    term = &term * &subs[i];
+            for (i, sub) in subs.iter().enumerate() {
+                for _ in 0..m.exp(i) {
+                    term = &term * sub;
                 }
             }
             result = &result + &term;
@@ -392,17 +565,17 @@ impl Poly {
     /// content"), e.g. `n` for `2na − nt + n`. Returns the constant
     /// monomial for the zero polynomial.
     pub fn monomial_content(&self) -> Monomial {
-        let mut iter = self.terms.keys();
-        let Some(first) = iter.next() else {
+        let mut iter = self.terms.iter();
+        let Some((first, _)) = iter.next() else {
             return Monomial::one(self.arity);
         };
-        let mut exps = first.exps().to_vec();
-        for m in iter {
-            for (e, &o) in exps.iter_mut().zip(m.exps()) {
-                *e = (*e).min(o);
+        let mut exps = first.exps();
+        for (m, _) in iter {
+            for (i, e) in exps.iter_mut().enumerate() {
+                *e = (*e).min(m.exp(i));
             }
         }
-        Monomial::new(exps)
+        Monomial::from_exps(&exps)
     }
 
     /// Divides every term by a monomial.
@@ -411,11 +584,11 @@ impl Poly {
     ///
     /// Panics if some term is not divisible by `m`.
     pub fn div_monomial(&self, m: &Monomial) -> Poly {
-        let mut out = Poly::zero(self.arity);
-        for (mm, c) in &self.terms {
-            out.add_term(*c, m.quotient(mm));
+        // Dividing every term by the same monomial preserves order.
+        Poly {
+            arity: self.arity,
+            terms: self.terms.iter().map(|(mm, c)| (m.quotient(mm), *c)).collect(),
         }
-        out
     }
 
     /// Divides out the content: scales so coefficients are coprime integers
@@ -425,19 +598,16 @@ impl Poly {
         if self.is_zero() {
             return self.clone();
         }
-        let coeffs: Vec<Rat> = self.terms.values().copied().collect();
+        let coeffs: Vec<Rat> = self.terms.iter().map(|(_, c)| *c).collect();
         let ints = crate::linalg::integerize(coeffs);
-        let mut terms = BTreeMap::new();
-        for ((m, _), c) in self.terms.iter().zip(ints) {
-            terms.insert(m.clone(), c);
-        }
-        let mut p = Poly { arity: self.arity, terms };
-        if let Some((_, c)) = p.leading_term() {
-            if c.is_negative() {
-                p = p.scale(-Rat::ONE);
-            }
-        }
-        p
+        let flip = ints.last().expect("nonzero poly").is_negative();
+        let terms: Vec<Term> = self
+            .terms
+            .iter()
+            .zip(ints)
+            .map(|((m, _), c)| (m.clone(), if flip { -c } else { c }))
+            .collect();
+        Poly { arity: self.arity, terms }
     }
 
     /// Renders with variable names.
@@ -473,15 +643,76 @@ impl Poly {
     }
 }
 
+/// Merges two sorted term lists into `out` (cleared first) computing
+/// `a + scale * b`, skipping cancelled terms. `shift`, when given, is a
+/// monomial every `b` term is multiplied by first.
+pub(crate) fn merge_add_scaled(
+    a: &[Term],
+    b: &[Term],
+    scale: Rat,
+    shift: Option<&Monomial>,
+    out: &mut Vec<Term>,
+) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let shift = shift.filter(|m| !m.is_one());
+    let b_mono = |j: usize| -> Monomial {
+        match shift {
+            Some(s) => b[j].0.mul(s),
+            None => b[j].0.clone(),
+        }
+    };
+    let (mut i, mut j) = (0, 0);
+    let mut bj: Option<Monomial> = (j < b.len()).then(|| b_mono(j));
+    while i < a.len() {
+        match &bj {
+            None => {
+                out.extend_from_slice(&a[i..]);
+                return;
+            }
+            Some(bm) => match a[i].0.cmp(bm) {
+                Ordering::Less => {
+                    out.push(a[i].clone());
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    let c = b[j].1 * scale;
+                    if !c.is_zero() {
+                        out.push((bj.take().expect("checked above"), c));
+                    }
+                    j += 1;
+                    bj = (j < b.len()).then(|| b_mono(j));
+                }
+                Ordering::Equal => {
+                    let c = a[i].1 + b[j].1 * scale;
+                    if !c.is_zero() {
+                        out.push((a[i].0.clone(), c));
+                    }
+                    i += 1;
+                    j += 1;
+                    bj = (j < b.len()).then(|| b_mono(j));
+                }
+            },
+        }
+    }
+    while j < b.len() {
+        let m = bj.take().unwrap_or_else(|| b_mono(j));
+        let c = b[j].1 * scale;
+        if !c.is_zero() {
+            out.push((m, c));
+        }
+        j += 1;
+        bj = None;
+    }
+}
+
 impl std::ops::Add for &Poly {
     type Output = Poly;
     fn add(self, rhs: &Poly) -> Poly {
         assert_eq!(self.arity, rhs.arity, "arity mismatch");
-        let mut out = self.clone();
-        for (m, c) in &rhs.terms {
-            out.add_term(*c, m.clone());
-        }
-        out
+        let mut terms = Vec::new();
+        merge_add_scaled(&self.terms, &rhs.terms, Rat::ONE, None, &mut terms);
+        Poly { arity: self.arity, terms }
     }
 }
 
@@ -489,11 +720,9 @@ impl std::ops::Sub for &Poly {
     type Output = Poly;
     fn sub(self, rhs: &Poly) -> Poly {
         assert_eq!(self.arity, rhs.arity, "arity mismatch");
-        let mut out = self.clone();
-        for (m, c) in &rhs.terms {
-            out.add_term(-*c, m.clone());
-        }
-        out
+        let mut terms = Vec::new();
+        merge_add_scaled(&self.terms, &rhs.terms, -Rat::ONE, None, &mut terms);
+        Poly { arity: self.arity, terms }
     }
 }
 
@@ -501,13 +730,28 @@ impl std::ops::Mul for &Poly {
     type Output = Poly;
     fn mul(self, rhs: &Poly) -> Poly {
         assert_eq!(self.arity, rhs.arity, "arity mismatch");
-        let mut out = Poly::zero(self.arity);
+        // Collect all pairwise products, sort, then combine equal
+        // monomials in one pass.
+        let mut prods: Vec<Term> = Vec::with_capacity(self.terms.len() * rhs.terms.len());
         for (m1, c1) in &self.terms {
             for (m2, c2) in &rhs.terms {
-                out.add_term(*c1 * *c2, m1.mul(m2));
+                prods.push((m1.mul(m2), *c1 * *c2));
             }
         }
-        out
+        prods.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut terms: Vec<Term> = Vec::with_capacity(prods.len());
+        for (m, c) in prods {
+            match terms.last_mut() {
+                Some((lm, lc)) if *lm == m => {
+                    *lc += c;
+                    if lc.is_zero() {
+                        terms.pop();
+                    }
+                }
+                _ => terms.push((m, c)),
+            }
+        }
+        Poly { arity: self.arity, terms }
     }
 }
 
@@ -570,6 +814,28 @@ mod tests {
     }
 
     #[test]
+    fn packed_and_spill_agree() {
+        // Exponent 16 and arity 17 both force the spill path; mixed
+        // comparisons and products must agree with the packed path.
+        let small = Monomial::new(vec![3, 7]);
+        let big_exp = Monomial::new(vec![16, 0]);
+        assert_eq!(small.mul(&small).exps(), vec![6, 14]);
+        assert_eq!(big_exp.mul(&big_exp).exps(), vec![32, 0]);
+        assert!(small < big_exp); // degree 10 < 16
+        assert!(small.divides(&big_exp.mul(&small)));
+        assert_eq!(small.quotient(&big_exp.mul(&small)), big_exp);
+        let wide = Monomial::one(17);
+        assert_eq!(wide.degree(), 0);
+        assert!(wide.is_one());
+        // Products that cross the 15-exponent boundary spill and come back:
+        // (x^8)^2 = x^16 spills; x^16 / x^8 = x^8 re-packs.
+        let x8 = Monomial::new(vec![8, 0]);
+        let x16 = x8.mul(&x8);
+        assert_eq!(x16.exps(), vec![16, 0]);
+        assert_eq!(x8.quotient(&x16), x8);
+    }
+
+    #[test]
     fn poly_arithmetic() {
         let x = Poly::var(0, 2);
         let y = Poly::var(1, 2);
@@ -589,6 +855,16 @@ mod tests {
         let p = &(&(&x * &x).scale(r(2)) - &y.scale(r(3))) + &Poly::constant(r(1), 2);
         assert_eq!(p.eval(&[r(2), r(3)]), r(0));
         assert_eq!(p.eval_f64(&[2.0, 3.0]), 0.0);
+        assert_eq!(p.try_eval(&[r(2), r(3)]), Some(r(0)));
+    }
+
+    #[test]
+    fn try_eval_overflow_is_none() {
+        let x = Poly::var(0, 1);
+        let p = &x * &x;
+        let big = Rat::integer(1i128 << 70);
+        assert_eq!(p.try_eval(&[big]), None);
+        assert_eq!(p.try_eval(&[r(5)]), Some(r(25)));
     }
 
     #[test]
@@ -639,5 +915,15 @@ mod tests {
         let p = &(&x * &x) + &(&y + &Poly::constant(r(5), 2));
         let (m, _) = p.leading_term().unwrap();
         assert_eq!(m, &Monomial::new(vec![2, 0]));
+    }
+
+    #[test]
+    fn terms_stay_sorted_through_ops() {
+        let x = Poly::var(0, 3);
+        let y = Poly::var(1, 3);
+        let z = Poly::var(2, 3);
+        let p = &(&(&x * &y) + &(&z * &z)) - &(&y.scale(r(4)) + &Poly::constant(r(7), 3));
+        let monos: Vec<&Monomial> = p.iter().map(|(m, _)| m).collect();
+        assert!(monos.windows(2).all(|w| w[0] < w[1]), "terms out of order");
     }
 }

@@ -80,6 +80,10 @@ impl Rat {
     /// ```
     pub fn new(num: i128, den: i128) -> Rat {
         assert!(den != 0, "rational denominator must be nonzero");
+        // Integer fast path: `n/1` is already normalized, no gcd needed.
+        if den == 1 {
+            return Rat { num, den: 1 };
+        }
         let g = gcd_i128(num, den);
         let (mut num, mut den) = (num / g, den / g);
         if den < 0 {
@@ -173,6 +177,24 @@ impl Rat {
             }
         }
         result
+    }
+
+    /// Checked exponentiation by a non-negative power; `None` on `i128`
+    /// overflow (where [`Rat::pow`] would panic).
+    pub fn checked_pow(&self, exp: u32) -> Option<Rat> {
+        let mut result = Rat::ONE;
+        let mut base = *self;
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.checked_mul(&base)?;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.checked_mul(&base)?;
+            }
+        }
+        Some(result)
     }
 
     /// Converts to `f64` (possibly lossy).
@@ -281,7 +303,23 @@ impl Rat {
     }
 
     /// Exact checked addition; `None` on `i128` overflow.
+    ///
+    /// Small-int fast paths: integer ± integer needs no gcd at all, and
+    /// integer ± fraction is already normalized (`gcd(a·d + n, d) =
+    /// gcd(n, d) = 1`), so gcd normalization is deferred to the general
+    /// fraction-fraction path — the one with real overflow pressure.
     pub fn checked_add(&self, rhs: &Rat) -> Option<Rat> {
+        if self.den == 1 && rhs.den == 1 {
+            return self.num.checked_add(rhs.num).map(Rat::integer);
+        }
+        if self.den == 1 {
+            let num = self.num.checked_mul(rhs.den)?.checked_add(rhs.num)?;
+            return Some(Rat { num, den: rhs.den });
+        }
+        if rhs.den == 1 {
+            let num = rhs.num.checked_mul(self.den)?.checked_add(self.num)?;
+            return Some(Rat { num, den: self.den });
+        }
         let g = gcd_i128(self.den, rhs.den);
         let lhs_scale = rhs.den / g;
         let rhs_scale = self.den / g;
@@ -295,6 +333,10 @@ impl Rat {
 
     /// Exact checked multiplication; `None` on `i128` overflow.
     pub fn checked_mul(&self, rhs: &Rat) -> Option<Rat> {
+        // Integer × integer: the product is already normalized.
+        if self.den == 1 && rhs.den == 1 {
+            return self.num.checked_mul(rhs.num).map(Rat::integer);
+        }
         // Cross-reduce first to keep intermediates small.
         let g1 = gcd_i128(self.num, rhs.den);
         let g2 = gcd_i128(rhs.num, self.den);

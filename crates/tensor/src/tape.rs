@@ -97,6 +97,12 @@ enum Op {
     /// Fused Gaussian activation `exp(coeff · z²)`; with
     /// `coeff = −1/(2σ²)` this is the equality relaxation `exp(−z²/2σ²)`.
     Gaussian { z: Var, coeff: Var },
+    /// Fused PBQU tightness loss `mean_j(1 − act(z_j))` with
+    /// `act(z) = if z ≥ 0 { c2²/(z²+c2²) } else { c1²/(z²+c1²) }` —
+    /// one scalar node instead of the 8-node
+    /// square → add/add → div/div → select → sub → mean chain that bound
+    /// learning builds per candidate subset (paper §4.2).
+    PbquLoss { z: Var, c1sq: f64, c2sq: f64 },
 }
 
 /// A computation graph with batched reverse-mode differentiation over a
@@ -197,6 +203,7 @@ impl Tape {
                 self.scalar[z.0] && self.scalar[coeff.0],
                 self.requires_grad[z.0] || self.requires_grad[coeff.0],
             ),
+            Op::PbquLoss { z, .. } => (true, self.requires_grad[z.0]),
         };
         self.ops.push(op);
         self.scalar.push(scalar);
@@ -310,6 +317,16 @@ impl Tape {
         self.push(Op::Gaussian { z, coeff })
     }
 
+    /// Fused PBQU tightness loss `mean(1 − act(z))` over the batch, with
+    /// `act(z) = select(z ≥ 0, c2²/(z²+c2²), c1²/(z²+c1²))` (paper §4.2).
+    ///
+    /// Collapses the per-element square/add/div/select/sub chain plus the
+    /// mean reduction into one scalar node; the arithmetic matches the
+    /// unfused graph operation-for-operation, so values are bit-identical.
+    pub fn pbqu_loss(&mut self, z: Var, c1: f64, c2: f64) -> Var {
+        self.push(Op::PbquLoss { z, c1sq: c1 * c1, c2sq: c2 * c2 })
+    }
+
     /// (Re)computes the arena layout for `batch`, reusing existing arenas
     /// when neither the graph nor the batch size changed.
     fn ensure_plan(&mut self, batch: usize) {
@@ -376,6 +393,7 @@ impl Tape {
                     mark(z);
                     mark(coeff);
                 }
+                Op::PbquLoss { z, .. } => mark(z),
             }
         }
         self.live_root = output;
@@ -487,6 +505,20 @@ impl Tape {
                             *o = (z * z * bget(cv, j)).exp();
                         }
                     }
+                }
+                Op::PbquLoss { z, c1sq, c2sq } => {
+                    // Per-element order mirrors the unfused
+                    // square → add → div → select → sub chain, and the
+                    // mean accumulates in batch order — bit-identical to
+                    // the graph this op replaces.
+                    let zv = slot(z);
+                    let mut sum = 0.0;
+                    for &zj in zv {
+                        let z2 = zj * zj;
+                        let act = if zj >= 0.0 { c2sq / (z2 + c2sq) } else { c1sq / (z2 + c1sq) };
+                        sum += 1.0 - act;
+                    }
+                    out[0] = sum / zv.len() as f64;
                 }
             }
         }
@@ -625,6 +657,23 @@ impl Tape {
                         g * out[j] * (z * z)
                     });
                 }
+                Op::PbquLoss { z, c1sq, c2sq } => {
+                    // The unfused chain's adjoints in the same operation
+                    // order (mean → sub → select → div → add → square),
+                    // so gradients match the replaced graph bit-for-bit.
+                    let zv = vslot(z);
+                    let n = lens[z.0] as f64;
+                    let (c1sq, c2sq) = (*c1sq, *c2sq);
+                    acc!(z, |j, g| {
+                        let zj = bget(zv, j);
+                        let z2 = zj * zj;
+                        let g_act = -(g / n);
+                        let k = if zj >= 0.0 { c2sq } else { c1sq };
+                        let d = z2 + k;
+                        let g_d = -g_act * k / (d * d);
+                        2.0 * g_d * zj
+                    });
+                }
             }
         }
         param_grads
@@ -723,6 +772,22 @@ impl Tape {
                             (z * z * bget(cv, j)).exp()
                         })
                         .collect()
+                }
+                Op::PbquLoss { z, c1sq, c2sq } => {
+                    let zv = v(z);
+                    let sum: f64 = zv
+                        .iter()
+                        .map(|&zj| {
+                            let z2 = zj * zj;
+                            let act = if zj >= 0.0 {
+                                c2sq / (z2 + c2sq)
+                            } else {
+                                c1sq / (z2 + c1sq)
+                            };
+                            1.0 - act
+                        })
+                        .sum();
+                    vec![sum / zv.len() as f64]
                 }
             };
             values.push(value);
@@ -827,6 +892,20 @@ impl Tape {
                     acc(coeff, &|j, g| {
                         let z = bget(&zv, j);
                         g * bget(&out, j) * (z * z)
+                    });
+                }
+                Op::PbquLoss { z, c1sq, c2sq } => {
+                    let zv = values[z.0].clone();
+                    let n = zv.len() as f64;
+                    let (c1sq, c2sq) = (*c1sq, *c2sq);
+                    acc(z, &|j, g| {
+                        let zj = bget(&zv, j);
+                        let z2 = zj * zj;
+                        let g_act = -(g / n);
+                        let k = if zj >= 0.0 { c2sq } else { c1sq };
+                        let d = z2 + k;
+                        let g_d = -g_act * k / (d * d);
+                        2.0 * g_d * zj
                     });
                 }
             }

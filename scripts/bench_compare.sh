@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Diffs two BENCH_*.json snapshots (as written by bench_snapshot.sh) and
+# flags median regressions above a threshold.
+#
+# Usage:
+#   scripts/bench_compare.sh BASELINE.json CANDIDATE.json [threshold-pct]
+#
+# Prints one line per benchmark present in both snapshots with the
+# median delta; benchmarks slower by more than the threshold (default
+# 10%) are marked REGRESSION. The check is informational: the exit code
+# is always 0 unless BENCH_COMPARE_STRICT=1 is set, in which case any
+# regression exits 1 (for opt-in CI gating).
+
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 BASELINE.json CANDIDATE.json [threshold-pct]" >&2
+  exit 2
+fi
+
+baseline="$1"
+candidate="$2"
+threshold="${3:-10}"
+
+python3 - "$baseline" "$candidate" "$threshold" <<'EOF'
+import json
+import os
+import sys
+
+baseline_path, candidate_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def load(path):
+    with open(path) as f:
+        snap = json.load(f)
+    return snap.get("snapshot", "?"), {r["name"]: r for r in snap.get("results", [])}
+
+base_label, base = load(baseline_path)
+cand_label, cand = load(candidate_path)
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3f} {unit}"
+    return f"{ns:.0f} ns"
+
+regressions = []
+print(f"{'benchmark':<40} {base_label:>12} {cand_label:>12} {'delta':>9}")
+for name in sorted(set(base) & set(cand)):
+    b, c = base[name]["median_ns"], cand[name]["median_ns"]
+    delta = (c - b) / b * 100.0 if b else 0.0
+    flag = ""
+    if delta > threshold:
+        flag = "  REGRESSION"
+        regressions.append(name)
+    elif delta < -threshold:
+        flag = "  improved"
+    print(f"{name:<40} {fmt_ns(b):>12} {fmt_ns(c):>12} {delta:>+8.1f}%{flag}")
+for name in sorted(set(base) ^ set(cand)):
+    where = base_label if name in base else cand_label
+    print(f"{name:<40} (only in {where})")
+
+if regressions:
+    print(f"\n{len(regressions)} benchmark(s) regressed more than {threshold:.0f}%: "
+          + ", ".join(regressions))
+    if os.environ.get("BENCH_COMPARE_STRICT") == "1":
+        sys.exit(1)
+else:
+    print(f"\nno regressions above {threshold:.0f}%")
+EOF

@@ -2,6 +2,12 @@
 # Runs the criterion suite and writes an aggregated snapshot to
 # BENCH_<date>[_<label>].json in the repo root.
 #
+# The suite covers every pipeline stage: trace collection, training,
+# Gröbner completion (`groebner_basis_*`) and reduction
+# (`groebner_reduce_*`), the invariant checker (`checker_*`), and the
+# end-to-end `pipeline/*` benches. Compare two snapshots with
+# scripts/bench_compare.sh.
+#
 # Usage:
 #   scripts/bench_snapshot.sh [label] [-- extra cargo-bench args]
 #
@@ -9,6 +15,7 @@
 #   scripts/bench_snapshot.sh                 # BENCH_2026-07-28.json, full suite
 #   scripts/bench_snapshot.sh arena           # BENCH_2026-07-28_arena.json
 #   scripts/bench_snapshot.sh quick -- gcln_training   # filter benches
+#   scripts/bench_snapshot.sh chk -- checker_          # checker benches only
 #
 # Knobs (see vendor/criterion): BENCH_SAMPLES, BENCH_SAMPLE_MS,
 # RAYON_NUM_THREADS (thread count of the vendored rayon shim).
