@@ -1,0 +1,8 @@
+//! The unified `gcln` CLI: suites, paper tables/figures, arbitrary
+//! `.loop` programs, and diagnostics. See [`gcln_bench::cli`] for the
+//! command surface and exit codes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(gcln_bench::cli::main_with_args(&args));
+}

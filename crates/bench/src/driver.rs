@@ -1,0 +1,205 @@
+//! The shared suite driver: every multi-problem experiment (Table 2,
+//! the linear/Code2Inv suite, ad-hoc `gcln suite` runs) goes through
+//! [`run_suite`], which owns the rayon fan-out, completion-order
+//! progress reporting, solved-criterion tallying, and JSON output —
+//! logic that used to be copy-pasted across the per-table binaries.
+//!
+//! Solve *results* are thread-count independent (each problem's seeds
+//! are fixed by its config); all timing figures vary with contention
+//! across `RAYON_NUM_THREADS` workers.
+
+use crate::{secs, solve_status, SolveFailure};
+use gcln::pipeline::{infer_invariants, PipelineConfig};
+use gcln_engine::events::json_string;
+use gcln_problems::Problem;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// One problem's outcome under the Table 2 "solved" criterion.
+#[derive(Clone, Debug)]
+pub struct ProblemRow {
+    /// Problem name.
+    pub name: String,
+    /// Whether the solved criterion held (checker valid + ground truth
+    /// implied).
+    pub solved: bool,
+    /// Whether the checker accepted the final candidates.
+    pub valid: bool,
+    /// Why the solved criterion failed, if it did.
+    pub failure: Option<SolveFailure>,
+    /// Per-problem wall-clock seconds (contended).
+    pub seconds: f64,
+    /// CEGIS rounds consumed.
+    pub cegis_rounds: usize,
+    /// Paper-reported degree (NLA only; 0 otherwise).
+    pub table_degree: u32,
+    /// Paper-reported variable count (NLA only; 0 otherwise).
+    pub table_vars: usize,
+}
+
+impl ProblemRow {
+    /// A short diagnostic note for table output (empty when solved).
+    pub fn note(&self) -> String {
+        match &self.failure {
+            None => String::new(),
+            Some(e) => format!("{e:?}").chars().take(60).collect(),
+        }
+    }
+
+    /// The row as one JSON object (the `--json` per-problem record).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"type":"problem","name":{},"solved":{},"valid":{},"seconds":{:.3},"cegis_rounds":{},"note":{}}}"#,
+            json_string(&self.name),
+            self.solved,
+            self.valid,
+            self.seconds,
+            self.cegis_rounds,
+            json_string(&self.note()),
+        )
+    }
+}
+
+/// Aggregate result of a suite run, rows in input (suite) order.
+#[derive(Clone, Debug)]
+pub struct SuiteSummary {
+    /// Suite label used in output (`nla`, `linear`, …).
+    pub suite: String,
+    /// Per-problem rows in input order.
+    pub rows: Vec<ProblemRow>,
+    /// Problems meeting the solved criterion.
+    pub solved: usize,
+    /// Problems attempted.
+    pub attempted: usize,
+    /// Sum of per-problem times (contended).
+    pub total_seconds: f64,
+    /// Maximum per-problem time.
+    pub max_seconds: f64,
+    /// Wall-clock time for the whole fan-out.
+    pub wall_seconds: f64,
+}
+
+impl SuiteSummary {
+    /// The summary as one JSON object (the `--json` trailer record).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"type":"summary","suite":{},"solved":{},"attempted":{},"wall_seconds":{:.3},"avg_seconds":{:.3},"max_seconds":{:.3},"threads":{}}}"#,
+            json_string(&self.suite),
+            self.solved,
+            self.attempted,
+            self.wall_seconds,
+            self.total_seconds / self.attempted.max(1) as f64,
+            self.max_seconds,
+            rayon::current_num_threads(),
+        )
+    }
+
+    /// Whether the run meets an `--expect N` threshold.
+    pub fn meets(&self, expect: Option<usize>) -> bool {
+        expect.is_none_or(|n| self.solved >= n)
+    }
+}
+
+/// Runs every problem through the pipeline across rayon workers and
+/// applies the solved criterion. Progress lines stream to stderr in
+/// completion order (so long runs are watchable); the returned rows are
+/// in input order, so tabular output stays deterministic.
+pub fn run_suite(suite: &str, problems: &[Problem], config: &PipelineConfig) -> SuiteSummary {
+    let wall = Instant::now();
+    let rows: Vec<ProblemRow> = problems
+        .par_iter()
+        .map(|problem| {
+            let start = Instant::now();
+            let outcome = infer_invariants(problem, config);
+            let seconds = start.elapsed().as_secs_f64();
+            let failure = solve_status(problem, &outcome).err();
+            let row = ProblemRow {
+                name: problem.name.clone(),
+                solved: failure.is_none(),
+                valid: outcome.valid,
+                failure,
+                seconds,
+                cegis_rounds: outcome.cegis_rounds_used,
+                table_degree: problem.table_degree,
+                table_vars: problem.table_vars,
+            };
+            eprintln!(
+                "[done] {:<14} {:>8} {:>9}s",
+                row.name,
+                if row.solved { "solved" } else { "FAILED" },
+                secs(start.elapsed()),
+            );
+            row
+        })
+        .collect();
+    let solved = rows.iter().filter(|r| r.solved).count();
+    let total_seconds: f64 = rows.iter().map(|r| r.seconds).sum();
+    let max_seconds = rows.iter().map(|r| r.seconds).fold(0.0, f64::max);
+    SuiteSummary {
+        suite: suite.to_string(),
+        solved,
+        attempted: rows.len(),
+        rows,
+        total_seconds,
+        max_seconds,
+        wall_seconds: wall.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, solved: bool) -> ProblemRow {
+        ProblemRow {
+            name: name.into(),
+            solved,
+            valid: solved,
+            failure: (!solved).then_some(SolveFailure::InvalidInvariant),
+            seconds: 1.5,
+            cegis_rounds: 0,
+            table_degree: 2,
+            table_vars: 3,
+        }
+    }
+
+    fn summary(solved: usize, attempted: usize) -> SuiteSummary {
+        SuiteSummary {
+            suite: "nla".into(),
+            rows: (0..attempted).map(|i| row(&format!("p{i}"), i < solved)).collect(),
+            solved,
+            attempted,
+            total_seconds: 3.0,
+            max_seconds: 2.0,
+            wall_seconds: 2.5,
+        }
+    }
+
+    #[test]
+    fn json_records_are_single_objects() {
+        let s = summary(1, 2);
+        for r in &s.rows {
+            let j = r.to_json();
+            assert!(j.starts_with(r#"{"type":"problem""#), "{j}");
+            assert!(!j.contains('\n'));
+        }
+        let j = s.to_json();
+        assert!(j.starts_with(r#"{"type":"summary""#), "{j}");
+        assert!(j.contains(r#""solved":1"#) && j.contains(r#""attempted":2"#), "{j}");
+    }
+
+    #[test]
+    fn expect_threshold() {
+        let s = summary(3, 5);
+        assert!(s.meets(None));
+        assert!(s.meets(Some(3)));
+        assert!(!s.meets(Some(4)));
+    }
+
+    #[test]
+    fn failure_note_is_truncated() {
+        let mut r = row("x", false);
+        r.failure = Some(SolveFailure::MissingEquality("e".repeat(200)));
+        assert!(r.note().len() <= 60);
+    }
+}

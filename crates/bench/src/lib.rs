@@ -1,15 +1,26 @@
 //! # gcln-bench — experiment harnesses for every table and figure
 //!
-//! One binary per experiment (see `src/bin/`): `table2` (main NLA
-//! results), `table3` (ablation), `table4` (stability), `code2inv`
-//! (linear suite), and `fig1`/`fig2`/`fig4`/`fig6`/`fig7`/`fig8`/`fig10`
-//! (figure data series). Criterion benches live in `benches/`.
+//! One `gcln` binary fronts every experiment (see [`cli`]):
+//! `gcln table2` (main NLA results), `gcln table3` (ablation),
+//! `gcln table4` (stability), `gcln code2inv` (linear suite),
+//! `gcln suite nla|linear` (generic suite runs), `gcln fig <n>` (figure
+//! data series), `gcln run <file.loop>` (arbitrary programs through the
+//! staged engine), and `gcln inspect` (single-problem diagnostics).
+//! Criterion benches live in `benches/`; `profile_ps2` is a separate
+//! stage-timing binary.
 //!
-//! This library holds the shared "solved" criterion: a problem counts as
-//! solved when the pipeline's invariant (a) passes the checker and
-//! (b) implies the documented ground truth — equalities symbolically via
-//! Gröbner ideal membership, inequalities bounded over the widened state
+//! The [`driver`] module owns the shared suite machinery (rayon
+//! fan-out, completion-order progress, tallying, JSON records); this
+//! root holds the shared "solved" criterion: a problem counts as solved
+//! when the pipeline's invariant (a) passes the checker and (b) implies
+//! the documented ground truth — equalities symbolically via Gröbner
+//! ideal membership, inequalities bounded over the widened state
 //! sample.
+
+pub mod cli;
+pub mod driver;
+pub mod figs;
+pub mod tables;
 
 use gcln::pipeline::InferenceOutcome;
 use gcln_checker::{equalities_imply, equality_polys, implies_bounded};

@@ -4,32 +4,39 @@
 //! stdin, runs the full G-CLN pipeline, and prints the learned invariant
 //! for every loop plus the checker's verdict.
 //!
+//! Configuration is auto-derived from the source via
+//! [`gcln_engine::ProblemSpec`] — term degree from the post-condition
+//! and assignments, input ranges from `pre` — and can be overridden:
+//!
 //! ```text
 //! Usage: invgen [FILE] [--max-degree D] [--range LO:HI ...] [--fast]
 //!
-//! One --range LO:HI per program input, in declaration order
-//! (default 0:20 for each).
+//! One --range LO:HI per program input, in declaration order.
 //! ```
+//!
+//! The richer front end (JSON events, deadlines, suites) lives in the
+//! `gcln` binary of `gcln-bench`; this one stays minimal and
+//! stdin-friendly for the CI determinism diff.
 
 use gcln::pipeline::{infer_invariants, PipelineConfig};
-use gcln::GclnConfig;
-use gcln_problems::{Problem, Suite};
+use gcln_engine::ProblemSpec;
 use std::io::Read;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file = None;
-    let mut max_degree = 2u32;
+    let mut max_degree: Option<u32> = None;
     let mut ranges: Vec<(i128, i128)> = Vec::new();
     let mut fast = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--max-degree" => {
-                max_degree = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--max-degree needs an integer");
+                max_degree = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-degree needs an integer"),
+                );
             }
             "--range" => {
                 let spec = it.next().expect("--range needs LO:HI");
@@ -47,49 +54,32 @@ fn main() {
             other => file = Some(other.to_string()),
         }
     }
-    let source = match file {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+    let (name_hint, source) = match file {
+        Some(path) => {
+            let src = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let stem = std::path::Path::new(&path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "stdin".into());
+            (stem, src)
+        }
         None => {
             let mut buf = String::new();
             std::io::stdin().read_to_string(&mut buf).expect("read stdin");
-            buf
+            ("stdin".to_string(), buf)
         }
     };
-    let program = match gcln_lang::parse_program(&source) {
-        Ok(p) => p,
+    let mut spec = match ProblemSpec::from_source_str(&name_hint, &source) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
     };
-    while ranges.len() < program.inputs.len() {
-        ranges.push((0, 20));
-    }
-    let name = program.name.clone();
-    let problem = Problem {
-        name,
-        suite: Suite::Linear,
-        source,
-        program,
-        max_degree,
-        input_ranges: ranges,
-        ext_terms: vec![],
-        ground_truth: vec![],
-        table_degree: max_degree,
-        table_vars: 0,
-        expected_solved: true,
-    };
-    let config = if fast {
-        PipelineConfig {
-            gcln: GclnConfig { max_epochs: 800, ..GclnConfig::default() },
-            max_attempts: 2,
-            cegis_rounds: 1,
-            ..PipelineConfig::default()
-        }
-    } else {
-        PipelineConfig::default()
-    };
+    spec.apply_overrides(max_degree, &ranges);
+    let problem = spec.problem;
+    let config = if fast { PipelineConfig::fast() } else { PipelineConfig::default() };
     let outcome = infer_invariants(&problem, &config);
     let names = problem.extended_names();
     println!("program `{}`: {} loop(s)", problem.name, problem.program.num_loops);

@@ -1,12 +1,16 @@
 //! # gcln — Gated Continuous Logic Networks for loop invariant inference
 //!
-//! The core library of the PLDI 2020 reproduction ("Learning Nonlinear
-//! Loop Invariants with Gated Continuous Logic Networks"): a data-driven
-//! system that learns SMT loop invariants — including nonlinear
-//! polynomial equalities and tight inequality bounds — directly from
-//! program traces.
+//! The compatibility facade of the PLDI 2020 reproduction ("Learning
+//! Nonlinear Loop Invariants with Gated Continuous Logic Networks").
+//! The implementation lives in [`gcln_engine`], which decomposes the
+//! paper's Fig. 3 pipeline into explicit staged jobs with events,
+//! deadlines, and cancellation; this crate re-exports the stage modules
+//! under their historical `gcln::*` paths and keeps the original
+//! synchronous [`pipeline::infer_invariants`] entry point as a thin
+//! wrapper, so existing callers (and their determinism guarantees) are
+//! untouched.
 //!
-//! Pipeline stages (paper Fig. 3), each its own module:
+//! Stage modules (paper Fig. 3), re-exported from [`gcln_engine`]:
 //!
 //! - [`terms`]: candidate monomial enumeration + growth filtering (§3,
 //!   §5.1.3)
@@ -16,7 +20,8 @@
 //! - [`bounds`]: PBQU tight-bound learning (§4.2, §5.2.2)
 //! - [`fractional`]: fractional sampling, the sound real-relaxation of
 //!   loop semantics (§4.3)
-//! - [`pipeline`]: the CEGIS driver tying it to the checker
+//! - [`pipeline`]: the legacy one-call CEGIS driver (wrapper over
+//!   [`gcln_engine::Engine`])
 //!
 //! # Examples
 //!
@@ -30,14 +35,15 @@
 //! println!("invariant: {}", outcome.formula_for(0).unwrap().display(&names));
 //! ```
 
-pub mod bounds;
-pub mod data;
-pub mod extract;
-pub mod fractional;
-pub mod kernel;
-pub mod model;
+pub use gcln_engine::bounds;
+pub use gcln_engine::data;
+pub use gcln_engine::extract;
+pub use gcln_engine::fractional;
+pub use gcln_engine::kernel;
+pub use gcln_engine::model;
+pub use gcln_engine::terms;
+
 pub mod pipeline;
-pub mod terms;
 
 pub use model::{GclnConfig, TrainedGcln};
 pub use pipeline::{infer_invariants, InferenceOutcome, PipelineConfig};

@@ -1,503 +1,33 @@
 //! The end-to-end invariant-inference pipeline (paper Fig. 3):
 //! trace collection → G-CLN training → extraction → checking → CEGIS.
+//!
+//! This module is a **thin compatibility wrapper** over the staged
+//! [`gcln_engine::Engine`]: [`infer_invariants`] builds a limit-free
+//! [`gcln_engine::Job`] from the problem and configuration and runs it
+//! synchronously. Callers that need deadlines, cancellation, step
+//! budgets, or streamed JSON events should use the engine API directly;
+//! everything here — including the bit-identical determinism across
+//! `RAYON_NUM_THREADS` — behaves exactly as the pre-engine monolith
+//! did.
 
-use crate::bounds::{learn_bounds, BoundsConfig};
-use crate::data::{collect_loop_states, Dataset};
-use crate::extract::{extract_formula, ExtractConfig, FitPoints};
-use crate::fractional::{fractional_points, FractionalConfig};
-use crate::model::{train_equality_gcln, GclnConfig};
-use crate::terms::{growth_filter, growth_filter_with_duplicates, TermSpace};
-use gcln_checker::{check, Candidate, CheckReport, CheckerConfig};
-use gcln_logic::{Formula, Pred};
-use gcln_numeric::{Poly, Rat};
+use gcln_engine::{Engine, Job, ProblemSpec};
 use gcln_problems::Problem;
-use rayon::prelude::*;
-use std::time::{Duration, Instant};
 
-/// Pipeline settings; the defaults mirror the paper's §6 configuration
-/// with the ablation switches of Table 3.
-#[derive(Clone, Debug)]
-pub struct PipelineConfig {
-    /// Equality-model hyperparameters.
-    pub gcln: GclnConfig,
-    /// Inequality-bound hyperparameters.
-    pub bounds: BoundsConfig,
-    /// Extraction settings (denominators 10/15/30).
-    pub extract: ExtractConfig,
-    /// Fractional-sampling settings.
-    pub fractional: FractionalConfig,
-    /// Checker settings.
-    pub checker: CheckerConfig,
-    /// Input tuples sampled for trace collection.
-    pub max_inputs: usize,
-    /// `nondet` seeds per input during trace collection.
-    pub trace_seeds: u64,
-    /// Row normalization target (`None` ablates data normalization).
-    pub normalize: Option<f64>,
-    /// Term dropout (Table 3 ablation switch).
-    pub enable_dropout: bool,
-    /// Unit-L2 weight projection (Table 3 ablation switch).
-    pub enable_weight_reg: bool,
-    /// Fractional sampling (Table 3 ablation switch).
-    pub enable_fractional: bool,
-    /// Whether to learn PBQU inequality bounds.
-    pub learn_inequalities: bool,
-    /// Exact kernel completion of the equality conjunction after
-    /// training (see [`crate::kernel`]); disabled for the pure-model
-    /// stability study.
-    pub kernel_completion: bool,
-    /// Growth-filter magnitude cap.
-    pub magnitude_cap: f64,
-    /// Training attempts per loop; dropout decays 0.3 → 0 across them
-    /// (§6: "decrease by 0.1 after each failed attempt").
-    pub max_attempts: usize,
-    /// CEGIS rounds (counterexample feedback) after the first check.
-    pub cegis_rounds: usize,
-    /// Input-range widening factor for checking, so bounds overfitted to
-    /// the training range are refuted.
-    pub widen_factor: i128,
-    /// Cap on training samples per loop.
-    pub max_samples_per_loop: usize,
-    /// Master seed.
-    pub seed: u64,
-}
-
-impl Default for PipelineConfig {
-    fn default() -> Self {
-        PipelineConfig {
-            gcln: GclnConfig::default(),
-            bounds: BoundsConfig::default(),
-            extract: ExtractConfig::default(),
-            fractional: FractionalConfig::default(),
-            checker: CheckerConfig::default(),
-            max_inputs: 120,
-            trace_seeds: 2,
-            normalize: Some(10.0),
-            enable_dropout: true,
-            enable_weight_reg: true,
-            enable_fractional: true,
-            learn_inequalities: true,
-            kernel_completion: true,
-            magnitude_cap: 1e10,
-            max_attempts: 4,
-            cegis_rounds: 2,
-            widen_factor: 2,
-            max_samples_per_loop: 400,
-            seed: 20,
-        }
-    }
-}
-
-/// The inferred invariant for one loop.
-#[derive(Clone, Debug)]
-pub struct LoopInference {
-    /// Dense loop id.
-    pub loop_id: usize,
-    /// Invariant over the problem's extended variable space.
-    pub formula: Formula,
-    /// Training attempts consumed.
-    pub attempts: usize,
-    /// Whether fractional sampling contributed.
-    pub used_fractional: bool,
-}
-
-/// The pipeline's result for a problem.
-#[derive(Clone, Debug)]
-pub struct InferenceOutcome {
-    /// Per-loop invariants.
-    pub loops: Vec<LoopInference>,
-    /// Whether the final candidates passed the checker.
-    pub valid: bool,
-    /// CEGIS rounds consumed (0 = first check passed).
-    pub cegis_rounds_used: usize,
-    /// Wall-clock inference time.
-    pub runtime: Duration,
-    /// Final checker report.
-    pub report: CheckReport,
-}
-
-impl InferenceOutcome {
-    /// The invariant learned for a loop, if any.
-    pub fn formula_for(&self, loop_id: usize) -> Option<&Formula> {
-        self.loops.iter().find(|l| l.loop_id == loop_id).map(|l| &l.formula)
-    }
-}
+pub use gcln_engine::run::{InferenceOutcome, LoopInference, PipelineConfig};
+pub use gcln_engine::{CancelToken, Event, Stage, StopReason};
 
 /// Runs the full pipeline on a problem.
 pub fn infer_invariants(problem: &Problem, config: &PipelineConfig) -> InferenceOutcome {
-    let start = Instant::now();
-    let num_loops = problem.program.num_loops;
-    let ext_names = problem.extended_names();
-
-    // Collected training points per loop (extended space, f64).
-    let mut points: Vec<Vec<Vec<f64>>> = (0..num_loops)
-        .map(|l| {
-            let pts = collect_loop_states(problem, l, config.max_inputs, config.trace_seeds);
-            evenly_subsample(pts, config.max_samples_per_loop)
-        })
-        .collect();
-
-    let mut loops: Vec<LoopInference> = (0..num_loops)
-        .map(|l| LoopInference {
-            loop_id: l,
-            formula: Formula::True,
-            attempts: 0,
-            used_fractional: false,
-        })
-        .collect();
-    let mut needs_learning: Vec<bool> = (0..num_loops).map(|l| !points[l].is_empty()).collect();
-
-    let widened = widened_input_tuples(problem, config);
-    let extend = |s: &[i128]| problem.extend_state(s);
-    // Loop-head states over the widened input range: every learned
-    // conjunct must fit these before it reaches the checker, which kills
-    // bounds overfitted to the training range (our substitute for Z3's
-    // unbounded refutation).
-    let widened_problem = {
-        let mut p = problem.clone();
-        for (lo, hi) in &mut p.input_ranges {
-            let span = (*hi - *lo).max(1);
-            *hi += span * (config.widen_factor - 1).max(0);
-        }
-        p
-    };
-    let validation_points: Vec<Vec<Vec<f64>>> = (0..num_loops)
-        .map(|l| {
-            let pts =
-                collect_loop_states(&widened_problem, l, config.max_inputs, config.trace_seeds);
-            evenly_subsample(pts, config.max_samples_per_loop * 2)
-        })
-        .collect();
-
-    let mut report = CheckReport::default();
-    let mut rounds_used = 0;
-    // Bound directions refuted in a previous round are banned: re-learning
-    // them with a shifted bias would loop forever on non-invariant
-    // directions.
-    let mut banned: Vec<Vec<Poly>> = vec![Vec::new(); num_loops];
-    for round in 0..=config.cegis_rounds {
-        for l in 0..num_loops {
-            if needs_learning[l] {
-                let mut inference =
-                    learn_loop(problem, l, &ext_names, &points[l], config, round, &banned[l]);
-                let (validated, dropped) =
-                    prune_falsified_conjuncts(&inference.formula, &validation_points[l]);
-                if std::env::var("GCLN_DEBUG").is_ok() {
-                    eprintln!(
-                        "[round {round}] loop {l}: learned {} conjuncts, validation dropped {}",
-                        inference.formula.conjuncts().len(),
-                        dropped.len()
-                    );
-                    for d in &dropped {
-                        eprintln!("  dropped: {}", d.display(&ext_names));
-                    }
-                }
-                inference.formula = validated;
-                loops[l] = inference;
-                needs_learning[l] = false;
-            }
-        }
-        let candidates: Vec<Candidate> = loops
-            .iter()
-            .map(|li| Candidate { loop_id: li.loop_id, formula: li.formula.clone() })
-            .collect();
-        report = check(&problem.program, &widened, &extend, &candidates, &config.checker);
-        if report.is_valid() {
-            break;
-        }
-        if round == config.cegis_rounds {
-            break;
-        }
-        rounds_used = round + 1;
-        // CEGIS feedback: add reachable counterexample states to the
-        // training data, prune conjuncts they falsify, and retrain the
-        // affected loops.
-        for cex in &report.counterexamples {
-            let ext_state: Vec<f64> =
-                extend(&cex.state).iter().map(|&v| v as f64).collect();
-            let l = cex.loop_id;
-            if cex.reachable && !points[l].contains(&ext_state) {
-                points[l].push(ext_state);
-            }
-            needs_learning[l] = true;
-        }
-        for li in &mut loops {
-            let (pruned, dropped) =
-                prune_falsified_conjuncts(&li.formula, &points[li.loop_id]);
-            for atom in dropped {
-                let dir = bound_direction(&atom.poly);
-                if !banned[li.loop_id].contains(&dir) {
-                    banned[li.loop_id].push(dir);
-                }
-            }
-            li.formula = pruned;
-        }
-    }
-
-    InferenceOutcome {
-        loops,
-        valid: report.is_valid(),
-        cegis_rounds_used: rounds_used,
-        runtime: start.elapsed(),
-        report,
-    }
-}
-
-/// Learns the invariant for one loop: equality G-CLN (+ fractional
-/// sampling when needed) plus PBQU bounds.
-fn learn_loop(
-    problem: &Problem,
-    loop_id: usize,
-    ext_names: &[String],
-    points: &[Vec<f64>],
-    config: &PipelineConfig,
-    round: usize,
-    banned: &[Poly],
-) -> LoopInference {
-    let space_all = TermSpace::enumerate(ext_names.to_vec(), problem.max_degree);
-    let filtered = growth_filter_with_duplicates(&space_all, points, config.magnitude_cap);
-    let space = space_all.select(&filtered.keep);
-
-    // Duplicate columns are equality invariants in their own right
-    // (e.g. `A == r` when the two columns coincide on every sample).
-    let mut best_eq: Vec<Formula> = Vec::new();
-    for &(dropped, kept) in &filtered.duplicates {
-        let poly = (&Poly::from_monomial(space_all.monomials[dropped].clone(), Rat::ONE)
-            - &Poly::from_monomial(space_all.monomials[kept].clone(), Rat::ONE))
-            .normalize_content();
-        if !poly.is_zero() {
-            let f = Formula::atom(poly, Pred::Eq);
-            if !best_eq.contains(&f) {
-                best_eq.push(f);
-            }
-        }
-    }
-
-    // --- equality learning with dropout decay across attempts ---
-    // Attempts accumulate the *union* of validated conjuncts: different
-    // dropout masks surface different null-space directions (§5.1.3).
-    //
-    // Each attempt is independent — its seed is a pure function of
-    // `(master seed, attempt, loop, round)` — so the restarts fan out
-    // across rayon workers. Results are merged in attempt order, which
-    // keeps the outcome bit-identical for every `RAYON_NUM_THREADS`.
-    let ds = Dataset::from_points(points.to_vec(), &space, config.normalize);
-    let attempts;
-    if ds.is_empty() {
-        attempts = 1;
-    } else {
-        attempts = config.max_attempts.max(1);
-        let columns = ds.columns();
-        let formulas: Vec<Formula> = (0..attempts)
-            .into_par_iter()
-            .map(|attempt| {
-                let dropout = if config.enable_dropout {
-                    (0.3 - 0.1 * attempt as f64).max(0.0)
-                } else {
-                    0.0
-                };
-                let gcln_cfg = GclnConfig {
-                    dropout_rate: dropout,
-                    weight_reg: config.enable_weight_reg,
-                    seed: config
-                        .seed
-                        .wrapping_add((attempt as u64) * 7919)
-                        .wrapping_add((loop_id as u64) * 104_729)
-                        .wrapping_add((round as u64) * 15_485_863),
-                    ..config.gcln.clone()
-                };
-                let model = train_equality_gcln(&columns, &gcln_cfg);
-                extract_formula(&model, &space, points, &config.extract)
-            })
-            .collect();
-        for formula in formulas {
-            for conjunct in formula.conjuncts() {
-                if !best_eq.contains(conjunct) {
-                    best_eq.push(conjunct.clone());
-                }
-            }
-        }
-    }
-
-    // --- exact kernel completion of the equality conjunction ---
-    if config.kernel_completion {
-        for atom in crate::kernel::kernel_equalities(&space, points, 250, 1_000_000) {
-            let f = Formula::Atom(atom);
-            if !best_eq.contains(&f) {
-                best_eq.push(f);
-            }
-        }
-    }
-
-    // --- fractional sampling fallback (§4.3) ---
-    let mut used_fractional = false;
-    if config.enable_fractional && (best_eq.is_empty() || problem.max_degree >= 5) {
-        for interval in [config.fractional.interval, config.fractional.interval / 2.0] {
-            let frac_cfg = FractionalConfig { interval, ..config.fractional.clone() };
-            if let Some(extra) = learn_fractional(problem, loop_id, ext_names, points, config, &frac_cfg)
-            {
-                for atom in extra {
-                    let f = Formula::Atom(atom);
-                    if !best_eq.contains(&f) {
-                        best_eq.push(f);
-                        used_fractional = true;
-                    }
-                }
-            }
-            if used_fractional {
-                break;
-            }
-        }
-    }
-
-    // --- inequality bounds (§5.2.2) ---
-    let mut parts = best_eq;
-    if config.learn_inequalities && !ds.is_empty() {
-        let bound_atoms = learn_bounds(&space, points, &ds.columns(), &config.bounds);
-        for atom in bound_atoms {
-            if !banned.contains(&bound_direction(&atom.poly)) {
-                parts.push(Formula::Atom(atom));
-            }
-        }
-    }
-    let formula = absorb(&Formula::and(parts).simplify());
-    LoopInference { loop_id, formula, attempts, used_fractional }
-}
-
-/// Absorption: `A ∧ (A ∨ B) ≡ A` — drops disjunctive conjuncts that
-/// contain another conjunct as a disjunct (they carry no information and
-/// clutter the output).
-fn absorb(formula: &Formula) -> Formula {
-    let conjuncts: Vec<Formula> = formula.conjuncts().into_iter().cloned().collect();
-    let kept: Vec<Formula> = conjuncts
-        .iter()
-        .filter(|c| match c {
-            Formula::Or(parts) => !parts.iter().any(|p| conjuncts.contains(p)),
-            _ => true,
-        })
-        .cloned()
-        .collect();
-    Formula::and(kept).simplify()
-}
-
-/// Fractional-sampling equality learning: train on relaxed samples over
-/// `V ∪ V0`, pin `V0` to the true initial values, validate on the integer
-/// data, and return the surviving equality atoms (over the extended
-/// space).
-fn learn_fractional(
-    problem: &Problem,
-    loop_id: usize,
-    ext_names: &[String],
-    integer_points: &[Vec<f64>],
-    config: &PipelineConfig,
-    frac_cfg: &FractionalConfig,
-) -> Option<Vec<gcln_logic::Atom>> {
-    let data = fractional_points(problem, loop_id, frac_cfg)?;
-    let space = TermSpace::enumerate(data.names.clone(), problem.max_degree);
-    let keep = growth_filter(&space, &data.points, config.magnitude_cap);
-    let space = space.select(&keep);
-    let ds = Dataset::from_points(data.points.clone(), &space, config.normalize);
-    if ds.is_empty() {
-        return None;
-    }
-    let gcln_cfg = GclnConfig {
-        dropout_rate: if config.enable_dropout { 0.2 } else { 0.0 },
-        weight_reg: config.enable_weight_reg,
-        seed: config.seed.wrapping_add(0xF4AC ^ loop_id as u64),
-        ..config.gcln.clone()
-    };
-    let model = train_equality_gcln(&ds.columns(), &gcln_cfg);
-    let relaxed = extract_formula(&model, &space, &data.points, &config.extract);
-
-    // Pin V0: substitution mapping [V..., V0...] into the extended space.
-    let ext_arity = ext_names.len();
-    let k = data.var_indices.len();
-    let mut subs: Vec<Poly> = Vec::with_capacity(2 * k);
-    for &v in &data.var_indices {
-        subs.push(Poly::var(v, ext_arity));
-    }
-    for &init in &data.init_values {
-        let c = Rat::approximate(init, 1 << 20)?;
-        subs.push(Poly::constant(c, ext_arity));
-    }
-    let pinned = relaxed.subst(&subs).simplify();
-    let fit = FitPoints::new(integer_points);
-    let mut out = Vec::new();
-    for atom in pinned.atoms() {
-        if atom.pred == Pred::Eq
-            && !atom.poly.is_zero()
-            && fit.fits(&atom.poly, Pred::Eq, config.extract.fit_tol)
-        {
-            let mut a = atom.clone();
-            a.poly = a.poly.normalize_content();
-            out.push(a);
-        }
-    }
-    (!out.is_empty()).then_some(out)
-}
-
-/// Keeps at most `max` points, evenly spaced across the collection order
-/// (so the cap does not bias the data toward small inputs).
-fn evenly_subsample<T>(items: Vec<T>, max: usize) -> Vec<T> {
-    let n = items.len();
-    if n <= max || max == 0 {
-        return items;
-    }
-    let mut out = Vec::with_capacity(max);
-    let mut next_pick = 0usize;
-    for (i, item) in items.into_iter().enumerate() {
-        if i * max >= next_pick * n {
-            out.push(item);
-            next_pick += 1;
-        }
-    }
-    out
-}
-
-/// Removes conjuncts falsified by any training point (used after CEGIS
-/// adds counterexample states). Returns the surviving formula and the
-/// dropped atoms.
-fn prune_falsified_conjuncts(
-    formula: &Formula,
-    points: &[Vec<f64>],
-) -> (Formula, Vec<gcln_logic::Atom>) {
-    let mut kept = Vec::new();
-    let mut dropped = Vec::new();
-    for c in formula.conjuncts() {
-        if points.iter().all(|p| c.eval_f64(p, 1e-6)) {
-            kept.push(c.clone());
-        } else if let Formula::Atom(a) = c {
-            dropped.push(a.clone());
-        }
-    }
-    (Formula::and(kept).simplify(), dropped)
-}
-
-/// The constant-free, content-normalized direction of a bound polynomial
-/// (what gets banned when a bound is refuted — any bias of the same
-/// direction would fail again eventually).
-fn bound_direction(poly: &Poly) -> Poly {
-    let arity = poly.arity();
-    let constant = poly.coeff(&gcln_numeric::Monomial::one(arity));
-    let shifted = poly - &Poly::constant(constant, arity);
-    shifted.normalize_content()
-}
-
-/// Input tuples for checking: the training ranges widened by
-/// `widen_factor` so range-overfitted bounds get refuted.
-fn widened_input_tuples(problem: &Problem, config: &PipelineConfig) -> Vec<Vec<i128>> {
-    let mut widened = problem.clone();
-    for (lo, hi) in &mut widened.input_ranges {
-        let span = (*hi - *lo).max(1);
-        *hi += span * (config.widen_factor - 1).max(0);
-    }
-    gcln_problems::sample_inputs(&widened, config.max_inputs)
+    let job = Job::new(ProblemSpec::from(problem.clone())).with_config(config.clone());
+    Engine::new().run(&job)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gcln_checker::{equalities_imply, equality_polys};
+    use gcln_engine::GclnConfig;
+    use gcln_logic::Pred;
     use gcln_numeric::groebner::GroebnerLimits;
     use gcln_problems::nla::nla_problem;
 
@@ -527,6 +57,9 @@ mod tests {
             "learned {} does not imply ground truth",
             formula.display(&names)
         );
+        // The wrapper runs without limits: jobs must not stop early.
+        assert_eq!(outcome.stopped, None);
+        assert!(!outcome.events.is_empty(), "engine events must be recorded");
     }
 
     #[test]
@@ -574,7 +107,9 @@ mod tests {
 
     /// The parallel attempt fan-out must not perturb results: seeds are
     /// split per attempt and merges happen in attempt order, so two runs
-    /// (at any `RAYON_NUM_THREADS`) produce identical formulas.
+    /// (at any `RAYON_NUM_THREADS`) produce identical formulas. This
+    /// also pins the engine's stage split to the wrapper's historical
+    /// behavior.
     #[test]
     fn parallel_attempts_are_deterministic() {
         let problem = nla_problem("ps2").unwrap();
@@ -598,23 +133,5 @@ mod tests {
             b.formula_for(0).unwrap().display(&names).to_string(),
             "serial and parallel runs of the same master seed must give identical invariants"
         );
-    }
-
-    #[test]
-    fn widened_tuples_exceed_training_range() {
-        let problem = nla_problem("cohencu").unwrap(); // range 0..12
-        let tuples = widened_input_tuples(&problem, &PipelineConfig::default());
-        let max_a = tuples.iter().map(|t| t[0]).max().unwrap();
-        assert!(max_a > 12, "widened max {max_a}");
-    }
-
-    #[test]
-    fn prune_drops_falsified_conjuncts() {
-        let names: Vec<String> = ["x"].iter().map(|s| s.to_string()).collect();
-        let f = gcln_logic::parse_formula("x >= 0 && x <= 5", &names).unwrap();
-        let (pruned, dropped) = prune_falsified_conjuncts(&f, &[vec![7.0]]);
-        assert_eq!(dropped.len(), 1);
-        let text = pruned.display(&names).to_string();
-        assert!(text.contains(">= 0") && !text.contains("5"), "pruned: {text}");
     }
 }

@@ -1,0 +1,1048 @@
+//! The staged inference engine: explicit `Trace → Train → Extract →
+//! Check → Cegis` stages behind an [`Engine`]/[`Job`] API.
+//!
+//! A [`Job`] carries a wall-clock deadline, a step budget (training
+//! attempts + checker invocations), and a cooperative [`CancelToken`]
+//! checked between stages and between training attempts. Jobs emit
+//! structured [`Event`]s (see [`crate::events`]) that serialize to JSON
+//! lines, and always return an [`InferenceOutcome`] — partial when a
+//! stop condition fires, with the events emitted so far attached.
+//!
+//! Determinism: every training attempt's seed is a pure function of
+//! `(master seed, attempt, loop, round)` and stage results merge in
+//! attempt order, so outcomes are bit-identical at any
+//! `RAYON_NUM_THREADS` — exactly the guarantee the monolithic
+//! `gcln::pipeline::infer_invariants` had before it became a thin
+//! wrapper over this engine.
+
+use crate::bounds::learn_bounds;
+use crate::data::{collect_loop_states, Dataset};
+use crate::events::{Event, Stage, StopReason};
+use crate::extract::{extract_formula, FitPoints};
+use crate::fractional::{fractional_points, FractionalConfig};
+use crate::model::{train_equality_gcln, GclnConfig, TrainedGcln};
+use crate::spec::ProblemSpec;
+use crate::terms::{growth_filter, growth_filter_with_duplicates, TermSpace};
+use gcln_checker::{check, Candidate, CheckReport};
+use gcln_logic::{Formula, Pred};
+use gcln_numeric::{Poly, Rat};
+use gcln_problems::Problem;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Pipeline settings; the defaults mirror the paper's §6 configuration
+/// with the ablation switches of Table 3.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Equality-model hyperparameters.
+    pub gcln: GclnConfig,
+    /// Inequality-bound hyperparameters.
+    pub bounds: crate::bounds::BoundsConfig,
+    /// Extraction settings (denominators 10/15/30).
+    pub extract: crate::extract::ExtractConfig,
+    /// Fractional-sampling settings.
+    pub fractional: FractionalConfig,
+    /// Checker settings.
+    pub checker: gcln_checker::CheckerConfig,
+    /// Input tuples sampled for trace collection.
+    pub max_inputs: usize,
+    /// `nondet` seeds per input during trace collection.
+    pub trace_seeds: u64,
+    /// Row normalization target (`None` ablates data normalization).
+    pub normalize: Option<f64>,
+    /// Term dropout (Table 3 ablation switch).
+    pub enable_dropout: bool,
+    /// Unit-L2 weight projection (Table 3 ablation switch).
+    pub enable_weight_reg: bool,
+    /// Fractional sampling (Table 3 ablation switch).
+    pub enable_fractional: bool,
+    /// Whether to learn PBQU inequality bounds.
+    pub learn_inequalities: bool,
+    /// Exact kernel completion of the equality conjunction after
+    /// training (see [`crate::kernel`]); disabled for the pure-model
+    /// stability study.
+    pub kernel_completion: bool,
+    /// Growth-filter magnitude cap.
+    pub magnitude_cap: f64,
+    /// Training attempts per loop; dropout decays 0.3 → 0 across them
+    /// (§6: "decrease by 0.1 after each failed attempt").
+    pub max_attempts: usize,
+    /// CEGIS rounds (counterexample feedback) after the first check.
+    pub cegis_rounds: usize,
+    /// Input-range widening factor for checking, so bounds overfitted to
+    /// the training range are refuted.
+    pub widen_factor: i128,
+    /// Cap on training samples per loop.
+    pub max_samples_per_loop: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// The quick profile shared by the `gcln run --fast` and `invgen
+    /// --fast` front ends: fewer epochs, two restart attempts, one
+    /// CEGIS round.
+    pub fn fast() -> PipelineConfig {
+        PipelineConfig {
+            gcln: GclnConfig { max_epochs: 800, ..GclnConfig::default() },
+            max_attempts: 2,
+            cegis_rounds: 1,
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            gcln: GclnConfig::default(),
+            bounds: crate::bounds::BoundsConfig::default(),
+            extract: crate::extract::ExtractConfig::default(),
+            fractional: FractionalConfig::default(),
+            checker: gcln_checker::CheckerConfig::default(),
+            max_inputs: 120,
+            trace_seeds: 2,
+            normalize: Some(10.0),
+            enable_dropout: true,
+            enable_weight_reg: true,
+            enable_fractional: true,
+            learn_inequalities: true,
+            kernel_completion: true,
+            magnitude_cap: 1e10,
+            max_attempts: 4,
+            cegis_rounds: 2,
+            widen_factor: 2,
+            max_samples_per_loop: 400,
+            seed: 20,
+        }
+    }
+}
+
+/// A cooperative cancellation token. Cloning shares the flag; any clone
+/// can cancel, and the engine polls it between stages and training
+/// attempts.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One unit of inference work: a problem spec plus run limits.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// The inference target.
+    pub spec: ProblemSpec,
+    /// Pipeline hyperparameters.
+    pub config: PipelineConfig,
+    /// Wall-clock deadline, measured from job start.
+    pub deadline: Option<Duration>,
+    /// Step budget: one step per equality-model training run (restart
+    /// attempts and fractional-fallback runs) and per checker
+    /// invocation. `None` = unlimited.
+    pub step_budget: Option<u64>,
+    /// Cooperative cancellation flag.
+    pub cancel: CancelToken,
+}
+
+impl Job {
+    /// A job with default configuration and no limits.
+    pub fn new(spec: impl Into<ProblemSpec>) -> Job {
+        Job {
+            spec: spec.into(),
+            config: PipelineConfig::default(),
+            deadline: None,
+            step_budget: None,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Replaces the pipeline configuration.
+    pub fn with_config(mut self, config: PipelineConfig) -> Job {
+        self.config = config;
+        self
+    }
+
+    /// Sets a wall-clock deadline measured from job start.
+    pub fn with_deadline(mut self, deadline: Duration) -> Job {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the step budget (training attempts + checker calls).
+    pub fn with_step_budget(mut self, steps: u64) -> Job {
+        self.step_budget = Some(steps);
+        self
+    }
+
+    /// A clone of the job's cancellation token, for triggering
+    /// cancellation from another thread.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+}
+
+/// The inferred invariant for one loop.
+#[derive(Clone, Debug)]
+pub struct LoopInference {
+    /// Dense loop id.
+    pub loop_id: usize,
+    /// Invariant over the problem's extended variable space.
+    pub formula: Formula,
+    /// Training attempts consumed.
+    pub attempts: usize,
+    /// Whether fractional sampling contributed.
+    pub used_fractional: bool,
+}
+
+/// The engine's result for a job.
+#[derive(Clone, Debug)]
+pub struct InferenceOutcome {
+    /// Per-loop invariants.
+    pub loops: Vec<LoopInference>,
+    /// Whether the final candidates passed the checker.
+    pub valid: bool,
+    /// CEGIS rounds consumed (0 = first check passed).
+    pub cegis_rounds_used: usize,
+    /// Wall-clock inference time.
+    pub runtime: Duration,
+    /// Final checker report.
+    pub report: CheckReport,
+    /// Why the job stopped early, if it did. `None` = ran to completion.
+    pub stopped: Option<StopReason>,
+    /// Every event emitted during the run, in order.
+    pub events: Vec<Event>,
+}
+
+impl InferenceOutcome {
+    /// The invariant learned for a loop, if any.
+    pub fn formula_for(&self, loop_id: usize) -> Option<&Formula> {
+        self.loops.iter().find(|l| l.loop_id == loop_id).map(|l| &l.formula)
+    }
+}
+
+/// The staged inference engine. Stateless today; the handle exists so
+/// future shared state (spec caches, worker pools, batch scheduling)
+/// has a home that does not break the API.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Engine;
+
+impl Engine {
+    /// A new engine handle.
+    pub fn new() -> Engine {
+        Engine
+    }
+
+    /// Runs a job to completion (or to its first stop condition),
+    /// discarding streamed events (they remain available on the
+    /// returned outcome).
+    pub fn run(&self, job: &Job) -> InferenceOutcome {
+        self.run_with_events(job, &mut |_| {})
+    }
+
+    /// Runs a job, streaming each [`Event`] to `sink` as it is emitted.
+    pub fn run_with_events(&self, job: &Job, sink: &mut dyn FnMut(&Event)) -> InferenceOutcome {
+        let problem = &job.spec.problem;
+        let config = &job.config;
+        let start = Instant::now();
+        let mut ctx = JobCtx {
+            deadline_at: job.deadline.map(|d| start + d),
+            budget: job.step_budget,
+            used: 0,
+            cancel: job.cancel.clone(),
+            stopped: None,
+            events: Vec::new(),
+            sink,
+        };
+        let num_loops = problem.program.num_loops;
+        let ext_names = problem.extended_names();
+        ctx.emit(Event::JobStarted { problem: problem.name.clone(), loops: num_loops });
+
+        // --- Trace stage: training points, widened check tuples, and
+        // widened-range validation points, collected once per job. The
+        // stop conditions are polled before the stage (an already-
+        // cancelled or zero-deadline job must not pay the program runs)
+        // and again between the two collection passes. ---
+        let extend = |s: &[i128]| problem.extend_state(s);
+        let mut points: Vec<Vec<Vec<f64>>> = vec![Vec::new(); num_loops];
+        let mut validation_points: Vec<Vec<Vec<f64>>> = vec![Vec::new(); num_loops];
+        let mut widened: Vec<Vec<i128>> = Vec::new();
+        if !ctx.check_stop() {
+            let trace_start = Instant::now();
+            ctx.emit(Event::StageStarted { round: 0, stage: Stage::Trace });
+            points = (0..num_loops)
+                .map(|l| {
+                    let pts =
+                        collect_loop_states(problem, l, config.max_inputs, config.trace_seeds);
+                    evenly_subsample(pts, config.max_samples_per_loop)
+                })
+                .collect();
+            widened = widened_input_tuples(problem, config);
+            if !ctx.check_stop() {
+                // Loop-head states over the widened input range: every
+                // learned conjunct must fit these before it reaches the
+                // checker, which kills bounds overfitted to the training
+                // range (our substitute for Z3's unbounded refutation).
+                let widened_problem = {
+                    let mut p = problem.clone();
+                    for (lo, hi) in &mut p.input_ranges {
+                        let span = (*hi - *lo).max(1);
+                        *hi += span * (config.widen_factor - 1).max(0);
+                    }
+                    p
+                };
+                validation_points = (0..num_loops)
+                    .map(|l| {
+                        let pts = collect_loop_states(
+                            &widened_problem,
+                            l,
+                            config.max_inputs,
+                            config.trace_seeds,
+                        );
+                        evenly_subsample(pts, config.max_samples_per_loop * 2)
+                    })
+                    .collect();
+            }
+            ctx.emit(Event::StageFinished {
+                round: 0,
+                stage: Stage::Trace,
+                ms: trace_start.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+
+        let mut loops: Vec<LoopInference> = (0..num_loops)
+            .map(|l| LoopInference {
+                loop_id: l,
+                formula: Formula::True,
+                attempts: 0,
+                used_fractional: false,
+            })
+            .collect();
+        let mut needs_learning: Vec<bool> =
+            (0..num_loops).map(|l| !points[l].is_empty()).collect();
+        let mut report = CheckReport::default();
+        // An empty default report is vacuously "valid"; only a report
+        // the checker actually produced may count.
+        let mut checked = false;
+        let mut rounds_used = 0;
+        // Bound directions refuted in a previous round are banned:
+        // re-learning them with a shifted bias would loop forever on
+        // non-invariant directions.
+        let mut banned: Vec<Vec<Poly>> = vec![Vec::new(); num_loops];
+
+        for round in 0..=config.cegis_rounds {
+            if ctx.check_stop() {
+                break;
+            }
+
+            // --- Train stage: per-loop equality-model fan-out. ---
+            let stage_start = Instant::now();
+            ctx.emit(Event::StageStarted { round, stage: Stage::Train });
+            let mut trained: Vec<Option<TrainedLoop>> = (0..num_loops).map(|_| None).collect();
+            for l in 0..num_loops {
+                if needs_learning[l] {
+                    trained[l] =
+                        Some(train_loop(problem, l, &ext_names, &points[l], config, round, &mut ctx));
+                }
+            }
+            ctx.emit(Event::StageFinished {
+                round,
+                stage: Stage::Train,
+                ms: stage_start.elapsed().as_secs_f64() * 1e3,
+            });
+
+            // --- Extract stage: per-attempt extraction, kernel
+            // completion, fractional fallback, bounds, validation
+            // pruning. ---
+            let stage_start = Instant::now();
+            ctx.emit(Event::StageStarted { round, stage: Stage::Extract });
+            for l in 0..num_loops {
+                let Some(t) = trained[l].take() else { continue };
+                let mut inference = extract_loop(
+                    problem,
+                    l,
+                    &ext_names,
+                    &points[l],
+                    config,
+                    round,
+                    &banned[l],
+                    t,
+                    &mut ctx,
+                );
+                let (validated, dropped) =
+                    prune_falsified_conjuncts(&inference.formula, &validation_points[l]);
+                if std::env::var("GCLN_DEBUG").is_ok() {
+                    eprintln!(
+                        "[round {round}] loop {l}: learned {} conjuncts, validation dropped {}",
+                        inference.formula.conjuncts().len(),
+                        dropped.len()
+                    );
+                    for d in &dropped {
+                        eprintln!("  dropped: {}", d.display(&ext_names));
+                    }
+                }
+                inference.formula = validated;
+                ctx.emit(Event::InvariantLearned {
+                    round,
+                    loop_id: l,
+                    conjuncts: inference.formula.conjuncts().len(),
+                    formula: inference.formula.display(&ext_names).to_string(),
+                });
+                loops[l] = inference;
+                needs_learning[l] = false;
+            }
+            ctx.emit(Event::StageFinished {
+                round,
+                stage: Stage::Extract,
+                ms: stage_start.elapsed().as_secs_f64() * 1e3,
+            });
+            if ctx.check_stop() {
+                break;
+            }
+
+            // --- Check stage. The budget step is taken before the
+            // stage events so an exhausted budget leaves no phantom
+            // check stage in the stream — it stops with the invariants
+            // learned so far. ---
+            if ctx.take_steps(1) == 0 {
+                break;
+            }
+            let stage_start = Instant::now();
+            ctx.emit(Event::StageStarted { round, stage: Stage::Check });
+            let candidates: Vec<Candidate> = loops
+                .iter()
+                .map(|li| Candidate { loop_id: li.loop_id, formula: li.formula.clone() })
+                .collect();
+            report = check(&problem.program, &widened, &extend, &candidates, &config.checker);
+            checked = true;
+            for cex in &report.counterexamples {
+                ctx.emit(Event::Counterexample {
+                    round,
+                    loop_id: cex.loop_id,
+                    kind: cex.kind,
+                    state: cex.state.clone(),
+                    reachable: cex.reachable,
+                });
+            }
+            ctx.emit(Event::StageFinished {
+                round,
+                stage: Stage::Check,
+                ms: stage_start.elapsed().as_secs_f64() * 1e3,
+            });
+            if report.is_valid() {
+                break;
+            }
+            if round == config.cegis_rounds {
+                break;
+            }
+            rounds_used = round + 1;
+            if ctx.check_stop() {
+                break;
+            }
+
+            // --- Cegis stage: counterexample feedback — add reachable
+            // counterexample states to the training data, prune
+            // conjuncts they falsify, and retrain the affected loops. ---
+            let stage_start = Instant::now();
+            ctx.emit(Event::StageStarted { round, stage: Stage::Cegis });
+            for cex in &report.counterexamples {
+                let ext_state: Vec<f64> =
+                    extend(&cex.state).iter().map(|&v| v as f64).collect();
+                let l = cex.loop_id;
+                if cex.reachable && !points[l].contains(&ext_state) {
+                    points[l].push(ext_state);
+                }
+                needs_learning[l] = true;
+            }
+            for li in &mut loops {
+                let (pruned, dropped) =
+                    prune_falsified_conjuncts(&li.formula, &points[li.loop_id]);
+                for atom in dropped {
+                    let dir = bound_direction(&atom.poly);
+                    if !banned[li.loop_id].contains(&dir) {
+                        banned[li.loop_id].push(dir);
+                    }
+                }
+                li.formula = pruned;
+            }
+            ctx.emit(Event::StageFinished {
+                round,
+                stage: Stage::Cegis,
+                ms: stage_start.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+
+        let valid = checked && report.is_valid();
+        ctx.emit(Event::JobFinished {
+            valid,
+            cegis_rounds: rounds_used,
+            ms: start.elapsed().as_secs_f64() * 1e3,
+        });
+        InferenceOutcome {
+            loops,
+            valid,
+            cegis_rounds_used: rounds_used,
+            runtime: start.elapsed(),
+            report,
+            stopped: ctx.stopped,
+            events: ctx.events,
+        }
+    }
+}
+
+/// Mutable per-job state: limits, stop flag, and the event log/sink.
+struct JobCtx<'a> {
+    deadline_at: Option<Instant>,
+    budget: Option<u64>,
+    used: u64,
+    cancel: CancelToken,
+    stopped: Option<StopReason>,
+    events: Vec<Event>,
+    sink: &'a mut dyn FnMut(&Event),
+}
+
+impl JobCtx<'_> {
+    fn emit(&mut self, event: Event) {
+        (self.sink)(&event);
+        self.events.push(event);
+    }
+
+    fn flag(&mut self, reason: StopReason) {
+        if self.stopped.is_none() {
+            self.stopped = Some(reason);
+            self.emit(Event::JobStopped { reason });
+        }
+    }
+
+    /// Polls the stop conditions; used between stages. Returns whether
+    /// the job should stop.
+    fn check_stop(&mut self) -> bool {
+        if self.stopped.is_some() {
+            return true;
+        }
+        if self.cancel.is_cancelled() {
+            self.flag(StopReason::Cancelled);
+        } else if self.deadline_at.is_some_and(|at| Instant::now() >= at) {
+            self.flag(StopReason::DeadlineExceeded);
+        } else if self.budget.is_some_and(|b| self.used >= b) {
+            self.flag(StopReason::BudgetExhausted);
+        }
+        self.stopped.is_some()
+    }
+
+    /// Pre-charges `want` steps against the budget and returns how many
+    /// were granted. Granting fewer than requested flags
+    /// [`StopReason::BudgetExhausted`]. Pre-charging (rather than
+    /// counting inside the parallel fan-out) keeps the set of attempts
+    /// that run a deterministic function of the budget.
+    fn take_steps(&mut self, want: u64) -> u64 {
+        let granted = match self.budget {
+            None => want,
+            Some(b) => want.min(b.saturating_sub(self.used)),
+        };
+        self.used += granted;
+        if granted < want {
+            self.flag(StopReason::BudgetExhausted);
+        }
+        granted
+    }
+}
+
+/// Products of the Train stage for one loop, consumed by Extract.
+struct TrainedLoop {
+    /// Full (unfiltered) term space; needed to reconstruct equalities
+    /// from duplicate columns.
+    space_all: TermSpace,
+    /// `(dropped, kept)` duplicate column pairs from the growth filter.
+    duplicates: Vec<(usize, usize)>,
+    /// Growth-filtered term space the models were trained over.
+    space: TermSpace,
+    /// The training dataset (kept for bound learning).
+    ds: Dataset,
+    /// One model per *granted* attempt; `None` when a deadline/cancel
+    /// poll skipped the attempt.
+    models: Vec<Option<TrainedGcln>>,
+    /// Attempts scheduled by the config (may exceed `models.len()` when
+    /// the step budget trimmed the grant).
+    scheduled: usize,
+    /// Attempts actually consumed (for [`LoopInference::attempts`]).
+    attempts: usize,
+}
+
+/// Train stage for one loop: term-space setup plus the equality-model
+/// attempt fan-out. Attempts accumulate the *union* of validated
+/// conjuncts downstream: different dropout masks surface different
+/// null-space directions (§5.1.3).
+///
+/// Each attempt is independent — its seed is a pure function of
+/// `(master seed, attempt, loop, round)` — so the restarts fan out
+/// across rayon workers. Models are collected in attempt order, which
+/// keeps the outcome bit-identical for every `RAYON_NUM_THREADS`.
+fn train_loop(
+    problem: &Problem,
+    loop_id: usize,
+    ext_names: &[String],
+    points: &[Vec<f64>],
+    config: &PipelineConfig,
+    round: usize,
+    ctx: &mut JobCtx<'_>,
+) -> TrainedLoop {
+    let space_all = TermSpace::enumerate(ext_names.to_vec(), problem.max_degree);
+    let filtered = growth_filter_with_duplicates(&space_all, points, config.magnitude_cap);
+    let space = space_all.select(&filtered.keep);
+    let ds = Dataset::from_points(points.to_vec(), &space, config.normalize);
+    if ds.is_empty() {
+        return TrainedLoop {
+            space_all,
+            duplicates: filtered.duplicates,
+            space,
+            ds,
+            models: Vec::new(),
+            scheduled: 0,
+            attempts: 1,
+        };
+    }
+    let want = config.max_attempts.max(1);
+    let granted = ctx.take_steps(want as u64) as usize;
+    let columns = ds.columns();
+    let cancel = ctx.cancel.clone();
+    let deadline_at = ctx.deadline_at;
+    let models: Vec<Option<TrainedGcln>> = (0..granted)
+        .into_par_iter()
+        .map(|attempt| {
+            // Cooperative stop between attempts: already-running
+            // attempts finish, pending ones are skipped.
+            if cancel.is_cancelled() || deadline_at.is_some_and(|at| Instant::now() >= at) {
+                return None;
+            }
+            let dropout = if config.enable_dropout {
+                (0.3 - 0.1 * attempt as f64).max(0.0)
+            } else {
+                0.0
+            };
+            let gcln_cfg = GclnConfig {
+                dropout_rate: dropout,
+                weight_reg: config.enable_weight_reg,
+                seed: config
+                    .seed
+                    .wrapping_add((attempt as u64) * 7919)
+                    .wrapping_add((loop_id as u64) * 104_729)
+                    .wrapping_add((round as u64) * 15_485_863),
+                ..config.gcln.clone()
+            };
+            Some(train_equality_gcln(&columns, &gcln_cfg))
+        })
+        .collect();
+    // "Consumed" means a model actually trained: attempts the
+    // deadline/cancel poll skipped inside the fan-out do not count.
+    let attempts = models.iter().filter(|m| m.is_some()).count();
+    TrainedLoop { space_all, duplicates: filtered.duplicates, space, ds, models, scheduled: want, attempts }
+}
+
+/// Extract stage for one loop: per-attempt formula extraction (merged in
+/// attempt order), duplicate-column equalities, exact kernel completion,
+/// the fractional-sampling fallback, and PBQU bounds.
+#[allow(clippy::too_many_arguments)]
+fn extract_loop(
+    problem: &Problem,
+    loop_id: usize,
+    ext_names: &[String],
+    points: &[Vec<f64>],
+    config: &PipelineConfig,
+    round: usize,
+    banned: &[Poly],
+    t: TrainedLoop,
+    ctx: &mut JobCtx<'_>,
+) -> LoopInference {
+    // Duplicate columns are equality invariants in their own right
+    // (e.g. `A == r` when the two columns coincide on every sample).
+    let mut best_eq: Vec<Formula> = Vec::new();
+    for &(dropped, kept) in &t.duplicates {
+        let poly = (&Poly::from_monomial(t.space_all.monomials[dropped].clone(), Rat::ONE)
+            - &Poly::from_monomial(t.space_all.monomials[kept].clone(), Rat::ONE))
+            .normalize_content();
+        if !poly.is_zero() {
+            let f = Formula::atom(poly, Pred::Eq);
+            if !best_eq.contains(&f) {
+                best_eq.push(f);
+            }
+        }
+    }
+
+    // Per-attempt extraction fans out like training did and merges in
+    // attempt order — determinism is preserved. Attempts the step
+    // budget trimmed (`models.len()..scheduled`) still emit a skipped
+    // AttemptResult so event consumers can tell "scheduled but unrun"
+    // from "never scheduled".
+    if !t.models.is_empty() {
+        let formulas: Vec<Option<Formula>> = (0..t.models.len())
+            .into_par_iter()
+            .map(|i| {
+                t.models[i]
+                    .as_ref()
+                    .map(|model| extract_formula(model, &t.space, points, &config.extract))
+            })
+            .collect();
+        for (attempt, formula) in formulas.iter().enumerate() {
+            ctx.emit(Event::AttemptResult {
+                round,
+                loop_id,
+                attempt,
+                conjuncts: formula.as_ref().map_or(0, |f| f.conjuncts().len()),
+                skipped: formula.is_none(),
+            });
+            if let Some(formula) = formula {
+                for conjunct in formula.conjuncts() {
+                    if !best_eq.contains(conjunct) {
+                        best_eq.push(conjunct.clone());
+                    }
+                }
+            }
+        }
+    }
+    for attempt in t.models.len()..t.scheduled {
+        ctx.emit(Event::AttemptResult { round, loop_id, attempt, conjuncts: 0, skipped: true });
+    }
+
+    // --- exact kernel completion of the equality conjunction ---
+    if config.kernel_completion {
+        for atom in crate::kernel::kernel_equalities(&t.space, points, 250, 1_000_000) {
+            let f = Formula::Atom(atom);
+            if !best_eq.contains(&f) {
+                best_eq.push(f);
+            }
+        }
+    }
+
+    // --- fractional sampling fallback (§4.3) ---
+    let mut used_fractional = false;
+    if config.enable_fractional && (best_eq.is_empty() || problem.max_degree >= 5) {
+        for interval in [config.fractional.interval, config.fractional.interval / 2.0] {
+            // Each fallback run is a full equality-training pass, so it
+            // is charged against the step budget like a restart attempt.
+            if ctx.take_steps(1) == 0 {
+                break;
+            }
+            let frac_cfg = FractionalConfig { interval, ..config.fractional.clone() };
+            if let Some(extra) =
+                learn_fractional(problem, loop_id, ext_names, points, config, &frac_cfg)
+            {
+                for atom in extra {
+                    let f = Formula::Atom(atom);
+                    if !best_eq.contains(&f) {
+                        best_eq.push(f);
+                        used_fractional = true;
+                    }
+                }
+            }
+            if used_fractional {
+                break;
+            }
+        }
+    }
+
+    // --- inequality bounds (§5.2.2) ---
+    let mut parts = best_eq;
+    if config.learn_inequalities && !t.ds.is_empty() {
+        let bound_atoms = learn_bounds(&t.space, points, &t.ds.columns(), &config.bounds);
+        for atom in bound_atoms {
+            if !banned.contains(&bound_direction(&atom.poly)) {
+                parts.push(Formula::Atom(atom));
+            }
+        }
+    }
+    let formula = absorb(&Formula::and(parts).simplify());
+    LoopInference { loop_id, formula, attempts: t.attempts, used_fractional }
+}
+
+/// Absorption: `A ∧ (A ∨ B) ≡ A` — drops disjunctive conjuncts that
+/// contain another conjunct as a disjunct (they carry no information and
+/// clutter the output).
+fn absorb(formula: &Formula) -> Formula {
+    let conjuncts: Vec<Formula> = formula.conjuncts().into_iter().cloned().collect();
+    let kept: Vec<Formula> = conjuncts
+        .iter()
+        .filter(|c| match c {
+            Formula::Or(parts) => !parts.iter().any(|p| conjuncts.contains(p)),
+            _ => true,
+        })
+        .cloned()
+        .collect();
+    Formula::and(kept).simplify()
+}
+
+/// Fractional-sampling equality learning: train on relaxed samples over
+/// `V ∪ V0`, pin `V0` to the true initial values, validate on the integer
+/// data, and return the surviving equality atoms (over the extended
+/// space).
+fn learn_fractional(
+    problem: &Problem,
+    loop_id: usize,
+    ext_names: &[String],
+    integer_points: &[Vec<f64>],
+    config: &PipelineConfig,
+    frac_cfg: &FractionalConfig,
+) -> Option<Vec<gcln_logic::Atom>> {
+    let data = fractional_points(problem, loop_id, frac_cfg)?;
+    let space = TermSpace::enumerate(data.names.clone(), problem.max_degree);
+    let keep = growth_filter(&space, &data.points, config.magnitude_cap);
+    let space = space.select(&keep);
+    let ds = Dataset::from_points(data.points.clone(), &space, config.normalize);
+    if ds.is_empty() {
+        return None;
+    }
+    let gcln_cfg = GclnConfig {
+        dropout_rate: if config.enable_dropout { 0.2 } else { 0.0 },
+        weight_reg: config.enable_weight_reg,
+        seed: config.seed.wrapping_add(0xF4AC ^ loop_id as u64),
+        ..config.gcln.clone()
+    };
+    let model = train_equality_gcln(&ds.columns(), &gcln_cfg);
+    let relaxed = extract_formula(&model, &space, &data.points, &config.extract);
+
+    // Pin V0: substitution mapping [V..., V0...] into the extended space.
+    let ext_arity = ext_names.len();
+    let k = data.var_indices.len();
+    let mut subs: Vec<Poly> = Vec::with_capacity(2 * k);
+    for &v in &data.var_indices {
+        subs.push(Poly::var(v, ext_arity));
+    }
+    for &init in &data.init_values {
+        let c = Rat::approximate(init, 1 << 20)?;
+        subs.push(Poly::constant(c, ext_arity));
+    }
+    let pinned = relaxed.subst(&subs).simplify();
+    let fit = FitPoints::new(integer_points);
+    let mut out = Vec::new();
+    for atom in pinned.atoms() {
+        if atom.pred == Pred::Eq
+            && !atom.poly.is_zero()
+            && fit.fits(&atom.poly, Pred::Eq, config.extract.fit_tol)
+        {
+            let mut a = atom.clone();
+            a.poly = a.poly.normalize_content();
+            out.push(a);
+        }
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+/// Keeps at most `max` points, evenly spaced across the collection order
+/// (so the cap does not bias the data toward small inputs).
+fn evenly_subsample<T>(items: Vec<T>, max: usize) -> Vec<T> {
+    let n = items.len();
+    if n <= max || max == 0 {
+        return items;
+    }
+    let mut out = Vec::with_capacity(max);
+    let mut next_pick = 0usize;
+    for (i, item) in items.into_iter().enumerate() {
+        if i * max >= next_pick * n {
+            out.push(item);
+            next_pick += 1;
+        }
+    }
+    out
+}
+
+/// Removes conjuncts falsified by any training point (used after CEGIS
+/// adds counterexample states). Returns the surviving formula and the
+/// dropped atoms.
+fn prune_falsified_conjuncts(
+    formula: &Formula,
+    points: &[Vec<f64>],
+) -> (Formula, Vec<gcln_logic::Atom>) {
+    let mut kept = Vec::new();
+    let mut dropped = Vec::new();
+    for c in formula.conjuncts() {
+        if points.iter().all(|p| c.eval_f64(p, 1e-6)) {
+            kept.push(c.clone());
+        } else if let Formula::Atom(a) = c {
+            dropped.push(a.clone());
+        }
+    }
+    (Formula::and(kept).simplify(), dropped)
+}
+
+/// The constant-free, content-normalized direction of a bound polynomial
+/// (what gets banned when a bound is refuted — any bias of the same
+/// direction would fail again eventually).
+fn bound_direction(poly: &Poly) -> Poly {
+    let arity = poly.arity();
+    let constant = poly.coeff(&gcln_numeric::Monomial::one(arity));
+    let shifted = poly - &Poly::constant(constant, arity);
+    shifted.normalize_content()
+}
+
+/// Input tuples for checking: the training ranges widened by
+/// `widen_factor` so range-overfitted bounds get refuted.
+fn widened_input_tuples(problem: &Problem, config: &PipelineConfig) -> Vec<Vec<i128>> {
+    let mut widened = problem.clone();
+    for (lo, hi) in &mut widened.input_ranges {
+        let span = (*hi - *lo).max(1);
+        *hi += span * (config.widen_factor - 1).max(0);
+    }
+    gcln_problems::sample_inputs(&widened, config.max_inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcln_problems::nla::nla_problem;
+
+    fn quick_job(name: &str) -> Job {
+        let spec = ProblemSpec::from_registry(name).unwrap();
+        Job::new(spec).with_config(PipelineConfig {
+            gcln: GclnConfig { max_epochs: 1000, ..GclnConfig::default() },
+            max_inputs: 60,
+            max_attempts: 2,
+            cegis_rounds: 1,
+            ..PipelineConfig::default()
+        })
+    }
+
+    #[test]
+    fn widened_tuples_exceed_training_range() {
+        let problem = nla_problem("cohencu").unwrap(); // range 0..12
+        let tuples = widened_input_tuples(&problem, &PipelineConfig::default());
+        let max_a = tuples.iter().map(|t| t[0]).max().unwrap();
+        assert!(max_a > 12, "widened max {max_a}");
+    }
+
+    #[test]
+    fn prune_drops_falsified_conjuncts() {
+        let names: Vec<String> = ["x"].iter().map(|s| s.to_string()).collect();
+        let f = gcln_logic::parse_formula("x >= 0 && x <= 5", &names).unwrap();
+        let (pruned, dropped) = prune_falsified_conjuncts(&f, &[vec![7.0]]);
+        assert_eq!(dropped.len(), 1);
+        let text = pruned.display(&names).to_string();
+        assert!(text.contains(">= 0") && !text.contains("5"), "pruned: {text}");
+    }
+
+    #[test]
+    fn cancelled_job_returns_partial_outcome_with_events() {
+        let job = quick_job("ps2");
+        job.cancel_token().cancel();
+        let outcome = Engine::new().run(&job);
+        assert_eq!(outcome.stopped, Some(StopReason::Cancelled));
+        assert!(!outcome.valid, "a cancelled job must not claim validity");
+        // An already-cancelled job pays for nothing: not even trace
+        // collection runs.
+        assert!(!outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::StageStarted { stage: Stage::Trace, .. })));
+        assert!(outcome.events.iter().any(|e| matches!(
+            e,
+            Event::JobStopped { reason: StopReason::Cancelled }
+        )));
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::JobFinished { valid: false, .. })));
+        // No training ran: loop 0's placeholder invariant is untouched.
+        assert_eq!(outcome.loops[0].attempts, 0);
+    }
+
+    #[test]
+    fn cancellation_mid_run_stops_between_stages() {
+        let job = quick_job("ps2");
+        let token = job.cancel_token();
+        // Cancel as soon as the first Train stage completes: the job
+        // must still finish Extract (partial invariants are useful) but
+        // never reach the checker.
+        let outcome = Engine::new().run_with_events(&job, &mut |e| {
+            if matches!(e, Event::StageFinished { stage: Stage::Train, .. }) {
+                token.cancel();
+            }
+        });
+        assert_eq!(outcome.stopped, Some(StopReason::Cancelled));
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::StageFinished { stage: Stage::Extract, .. })));
+        assert!(!outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::StageStarted { stage: Stage::Check, .. })));
+        // Training completed before the cancel, so the partial outcome
+        // carries a learned (if unchecked) invariant.
+        assert!(outcome.loops[0].attempts > 0);
+    }
+
+    #[test]
+    fn zero_deadline_stops_before_training() {
+        let job = quick_job("ps2").with_deadline(Duration::ZERO);
+        let outcome = Engine::new().run(&job);
+        assert_eq!(outcome.stopped, Some(StopReason::DeadlineExceeded));
+        assert!(!outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::StageStarted { stage: Stage::Train, .. })));
+    }
+
+    #[test]
+    fn step_budget_grants_partial_attempts_deterministically() {
+        // Budget 1: one of the two training attempts runs, then the job
+        // stops at the checker boundary with a partial outcome.
+        let job = quick_job("ps2").with_step_budget(1);
+        let outcome = Engine::new().run(&job);
+        assert_eq!(outcome.stopped, Some(StopReason::BudgetExhausted));
+        let ran: Vec<bool> = outcome
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::AttemptResult { skipped, .. } => Some(!*skipped),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            ran,
+            vec![true, false],
+            "attempt 0 runs, attempt 1 is reported as budget-skipped"
+        );
+        assert_eq!(outcome.loops[0].attempts, 1, "attempts reports the consumed count");
+        assert!(!outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Counterexample { .. })));
+    }
+
+    #[test]
+    fn unlimited_job_completes_and_reports_stages() {
+        let outcome = Engine::new().run(&quick_job("ps2"));
+        assert_eq!(outcome.stopped, None);
+        assert!(outcome.valid);
+        for stage in [Stage::Trace, Stage::Train, Stage::Extract, Stage::Check] {
+            assert!(
+                outcome.events.iter().any(
+                    |e| matches!(e, Event::StageFinished { stage: s, .. } if *s == stage)
+                ),
+                "missing stage {stage}"
+            );
+        }
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::InvariantLearned { loop_id: 0, .. })));
+        // Events must serialize to single JSON lines.
+        for e in &outcome.events {
+            assert!(!e.to_json().contains('\n'));
+        }
+    }
+}

@@ -25,7 +25,7 @@ impl TermSpace {
     /// # Examples
     ///
     /// ```
-    /// use gcln::terms::TermSpace;
+    /// use gcln_engine::terms::TermSpace;
     /// let names: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
     /// let space = TermSpace::enumerate(names, 2);
     /// // 1, x, y, x^2, xy, y^2

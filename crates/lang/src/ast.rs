@@ -217,6 +217,21 @@ pub struct Program {
 }
 
 impl Program {
+    /// The name the parser assigns when the source has no
+    /// `program <name>;` header. Front ends (e.g. spec builders) test
+    /// against this to substitute a file-derived fallback name.
+    pub const DEFAULT_NAME: &'static str = "anonymous";
+
+    /// Whether the program carries an explicit `program <name>;` header
+    /// (as opposed to the parser-assigned default). Known limitation: a
+    /// program literally named `anonymous` is indistinguishable from an
+    /// unnamed one and is treated as unnamed — the header carries no
+    /// information beyond the name, so a front end's fallback name is
+    /// an equally good label.
+    pub fn has_explicit_name(&self) -> bool {
+        self.name != Self::DEFAULT_NAME
+    }
+
     /// Looks up a variable id by name.
     pub fn var_id(&self, name: &str) -> Option<VarId> {
         self.vars.iter().position(|v| v == name)

@@ -384,7 +384,7 @@ impl Parser {
     }
 
     fn parse_program(&mut self) -> PResult<Program> {
-        let mut name = "anonymous".to_string();
+        let mut name = Program::DEFAULT_NAME.to_string();
         let mut inputs = Vec::new();
         let mut pre = BoolExpr::Const(true);
         let mut post = BoolExpr::Const(true);

@@ -334,6 +334,22 @@ pub fn find_problem(name: &str) -> Option<Problem> {
     all_problems().into_iter().find(|p| p.name == name)
 }
 
+/// Looks up a whole suite by its CLI label (`nla` or `linear`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(gcln_problems::suite_by_name("nla").unwrap().len(), 27);
+/// assert!(gcln_problems::suite_by_name("jupiter").is_none());
+/// ```
+pub fn suite_by_name(name: &str) -> Option<Vec<Problem>> {
+    match name {
+        "nla" => Some(nla::nla_suite()),
+        "linear" => Some(linear::linear_suite()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

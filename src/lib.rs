@@ -6,8 +6,11 @@
 //!
 //! The interesting entry points:
 //!
-//! - [`gcln::pipeline`] — end-to-end invariant inference (trace → train →
-//!   extract → check → CEGIS).
+//! - [`gcln_engine`] — the staged inference engine (trace → train →
+//!   extract → check → CEGIS) with jobs, deadlines, cancellation, JSON
+//!   events, and arbitrary-program specs
+//!   ([`gcln_engine::ProblemSpec::from_source`]).
+//! - [`gcln::pipeline`] — the legacy one-call wrapper over the engine.
 //! - [`gcln_problems`] — the 27-problem NLA nonlinear benchmark and the
 //!   124-problem linear suite.
 //! - [`gcln_checker`] — the invariant checker (Z3 substitute).
@@ -15,6 +18,7 @@
 pub use gcln;
 pub use gcln_baselines;
 pub use gcln_checker;
+pub use gcln_engine;
 pub use gcln_lang;
 pub use gcln_logic;
 pub use gcln_numeric;

@@ -4,6 +4,7 @@
 use gcln_repro::gcln::pipeline::{infer_invariants, PipelineConfig};
 use gcln_repro::gcln::GclnConfig;
 use gcln_repro::gcln_checker::{check, equalities_imply, equality_polys, Candidate, CheckerConfig};
+use gcln_repro::gcln_engine::{Engine, Event, Job, ProblemSpec, Stage};
 use gcln_repro::gcln_logic::parse_formula;
 use gcln_repro::gcln_numeric::groebner::GroebnerLimits;
 use gcln_repro::gcln_problems::{find_problem, nla::nla_problem, sample_inputs};
@@ -63,6 +64,47 @@ fn learned_invariants_are_checkable_artifacts() {
     let extend = |s: &[i128]| problem.extend_state(s);
     let report = check(&problem.program, &tuples, &extend, &candidates, &CheckerConfig::default());
     assert!(report.is_valid());
+}
+
+#[test]
+fn engine_solves_an_arbitrary_program_from_source() {
+    // A cube variant absent from both registries: renamed variables and
+    // a tightened precondition. All configuration (degree 3 from the
+    // post-condition, the input range from `pre`) is auto-derived.
+    let spec = ProblemSpec::from_source_str(
+        "cubevar",
+        "program cubevar; inputs top; pre top >= 1; post c == top * top * top;
+         k = 0; c = 0; d = 1; e = 6;
+         while (k != top) { k += 1; c += d; d += e; e += 6; }",
+    )
+    .unwrap();
+    assert_eq!(spec.problem.max_degree, 3);
+    assert_eq!(spec.problem.input_ranges, vec![(1, 21)]);
+    let job = Job::new(spec).with_config(quick_config());
+    let mut streamed = 0usize;
+    let outcome = Engine::new().run_with_events(&job, &mut |_| streamed += 1);
+    assert!(outcome.valid, "cex: {:?}", outcome.report.counterexamples.first());
+    assert_eq!(outcome.stopped, None);
+    assert_eq!(streamed, outcome.events.len(), "sink and event log must agree");
+    assert!(outcome
+        .events
+        .iter()
+        .any(|e| matches!(e, Event::StageFinished { stage: Stage::Check, .. })));
+    // The learned equalities imply the cube ground truth (stated over
+    // the loop counter `k`, as in cohencu).
+    let names = job.spec.problem.extended_names();
+    let gt =
+        parse_formula("c == k^3 && d == 3*k^2 + 3*k + 1 && e == 6*k + 6", &names).unwrap();
+    assert_eq!(
+        equalities_imply(
+            outcome.formula_for(0).unwrap(),
+            &equality_polys(&gt),
+            GroebnerLimits::default()
+        ),
+        Some(true),
+        "learned {}",
+        outcome.formula_for(0).unwrap().display(&names)
+    );
 }
 
 #[test]
