@@ -13,6 +13,7 @@
 //! gcln table1                 # alias of `fig 4`
 //! gcln fig <1|2|4|6|7|8|10> [args]
 //! gcln inspect <problem> [--bounds]
+//! gcln serve [--port P] [--workers N] [--queue-cap N] [--journal PATH]
 //! ```
 //!
 //! Exit codes: `0` success, `1` usage/parse errors, `2` the checker
@@ -26,7 +27,7 @@ use gcln_engine::events::json_string;
 use gcln_engine::{Engine, Event, Job, ProblemSpec};
 use std::time::Duration;
 
-const USAGE: &str = "usage: gcln <run|suite|table1|table2|table3|table4|code2inv|fig|inspect> [args]
+const USAGE: &str = "usage: gcln <run|suite|table1|table2|table3|table4|code2inv|fig|inspect|serve> [args]
   run <file.loop|name> [--fast] [--json] [--deadline S] [--steps N] [--max-degree D] [--range LO:HI ...]
   suite <nla|linear>   [--fast] [--json] [--limit N] [--expect N] [name ...]
   table2               [--fast] [--json] [--expect N] [name ...]
@@ -34,7 +35,8 @@ const USAGE: &str = "usage: gcln <run|suite|table1|table2|table3|table4|code2inv
   table4               [--runs N]
   code2inv             [--limit N] [--json] [--expect N]
   fig <1|2|4|6|7|8|10> [args]
-  inspect <problem>    [--bounds]";
+  inspect <problem>    [--bounds]
+  serve                [--port P] [--workers N] [--queue-cap N] [--journal PATH]";
 
 /// Parsed common flags; non-flag arguments are collected in order.
 #[derive(Debug, Default)]
@@ -50,6 +52,10 @@ struct Flags {
     limit: Option<usize>,
     expect: Option<usize>,
     runs: Option<u64>,
+    port: Option<u16>,
+    workers: Option<usize>,
+    queue_cap: Option<usize>,
+    journal: Option<String>,
     rest: Vec<String>,
 }
 
@@ -100,6 +106,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--runs" => {
                 f.runs = Some(num("--runs")?.parse().map_err(|_| "--runs needs an integer")?)
             }
+            "--port" => {
+                f.port =
+                    Some(num("--port")?.parse().map_err(|_| "--port needs a port number")?)
+            }
+            "--workers" => {
+                f.workers =
+                    Some(num("--workers")?.parse().map_err(|_| "--workers needs an integer")?)
+            }
+            "--queue-cap" => {
+                f.queue_cap =
+                    Some(num("--queue-cap")?.parse().map_err(|_| "--queue-cap needs an integer")?)
+            }
+            "--journal" => f.journal = Some(num("--journal")?),
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => f.rest.push(other.to_string()),
         }
@@ -124,6 +143,10 @@ impl Flags {
             ("--limit", self.limit.is_some()),
             ("--expect", self.expect.is_some()),
             ("--runs", self.runs.is_some()),
+            ("--port", self.port.is_some()),
+            ("--workers", self.workers.is_some()),
+            ("--queue-cap", self.queue_cap.is_some()),
+            ("--journal", self.journal.is_some()),
         ];
         for (name, used) in set {
             if *used && !allowed.contains(name) {
@@ -155,6 +178,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
         "table4" => &["--runs"],
         "code2inv" => &["--limit", "--json", "--expect"],
         "inspect" => &["--bounds"],
+        "serve" => &["--port", "--workers", "--queue-cap", "--journal"],
         _ => &[],
     };
     if let Err(e) = flags.check_allowed(cmd, allowed) {
@@ -242,6 +266,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
                 1
             }
         }
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             0
@@ -379,6 +404,47 @@ fn cmd_run(flags: &Flags) -> i32 {
     }
 }
 
+/// `gcln serve`: the HTTP batch inference front end (see `gcln-serve`).
+/// Prints the bound address (pass `--port 0` for an ephemeral port) and
+/// blocks until a `POST /shutdown` arrives.
+fn cmd_serve(flags: &Flags) -> i32 {
+    use std::io::Write;
+    if let Some(stray) = flags.rest.first() {
+        // `gcln serve 9090` must not silently bind the default port.
+        eprintln!("error: serve takes no positional arguments (got `{stray}`; use --port)\n{USAGE}");
+        return 1;
+    }
+    let config = gcln_serve::ServeConfig {
+        port: flags.port.unwrap_or(8080),
+        workers: flags.workers.unwrap_or(2),
+        queue_cap: flags.queue_cap.unwrap_or(16),
+        journal: flags.journal.clone().map(std::path::PathBuf::from),
+        ..gcln_serve::ServeConfig::default()
+    };
+    let journal_note = match &config.journal {
+        Some(path) => format!(" journal={}", path.display()),
+        None => String::new(),
+    };
+    match gcln_serve::start(config.clone()) {
+        Ok(handle) => {
+            println!(
+                "gcln-serve listening on {} (workers={} queue-cap={}{journal_note})",
+                handle.local_addr(),
+                config.workers,
+                config.queue_cap
+            );
+            let _ = std::io::stdout().flush();
+            handle.wait();
+            println!("gcln-serve stopped");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            1
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +470,22 @@ mod tests {
     }
 
     #[test]
+    fn serve_flags_parse() {
+        let args: Vec<String> =
+            ["--port", "0", "--workers", "3", "--queue-cap", "7", "--journal", "j.jsonl"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.port, Some(0));
+        assert_eq!(f.workers, Some(3));
+        assert_eq!(f.queue_cap, Some(7));
+        assert_eq!(f.journal.as_deref(), Some("j.jsonl"));
+        let args: Vec<String> = ["--port", "70000"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).unwrap_err().contains("port"));
+    }
+
+    #[test]
     fn unknown_flags_and_bad_values_error() {
         let bad = |args: &[&str]| {
             let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
@@ -423,6 +505,10 @@ mod tests {
         assert_eq!(main_with_args(&["table3".into(), "--json".into()]), 1);
         assert_eq!(main_with_args(&["fig".into(), "2".into(), "--fast".into()]), 1);
         assert_eq!(main_with_args(&["run".into(), "--runs".into(), "3".into()]), 1);
+        assert_eq!(main_with_args(&["run".into(), "--port".into(), "1".into()]), 1);
+        assert_eq!(main_with_args(&["serve".into(), "--json".into()]), 1);
+        // A positional arg is a near-certain --port typo, not noise.
+        assert_eq!(main_with_args(&["serve".into(), "9090".into()]), 1);
     }
 
     #[test]

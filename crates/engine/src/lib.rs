@@ -47,6 +47,7 @@
 //! ```
 
 pub mod bounds;
+pub mod cache;
 pub mod data;
 pub mod events;
 pub mod extract;
@@ -57,6 +58,7 @@ pub mod run;
 pub mod spec;
 pub mod terms;
 
+pub use cache::{CacheStats, TraceCache, TraceData};
 pub use events::{Event, Stage, StopReason};
 pub use model::{GclnConfig, TrainedGcln};
 pub use run::{

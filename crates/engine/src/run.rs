@@ -236,16 +236,28 @@ impl InferenceOutcome {
     }
 }
 
-/// The staged inference engine. Stateless today; the handle exists so
-/// future shared state (spec caches, worker pools, batch scheduling)
-/// has a home that does not break the API.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Engine;
+/// The staged inference engine. The handle owns shared state that
+/// spans jobs: today an optional [`TraceCache`] (see [`crate::cache`]),
+/// tomorrow worker pools and batch scheduling.
+#[derive(Clone, Debug, Default)]
+pub struct Engine {
+    trace_cache: Option<Arc<crate::cache::TraceCache>>,
+}
 
 impl Engine {
-    /// A new engine handle.
+    /// A new engine handle with no shared caches.
     pub fn new() -> Engine {
-        Engine
+        Engine::default()
+    }
+
+    /// Attaches a shared Trace-stage cache: jobs whose
+    /// `(source, input ranges, extended terms, trace config)` tuple has
+    /// been seen before reuse the collected training data instead of
+    /// re-running the interpreter. Trace collection is deterministic,
+    /// so cached runs stay bit-identical to cold runs.
+    pub fn with_trace_cache(mut self, cache: Arc<crate::cache::TraceCache>) -> Engine {
+        self.trace_cache = Some(cache);
+        self
     }
 
     /// Runs a job to completion (or to its first stop condition),
@@ -285,38 +297,58 @@ impl Engine {
         if !ctx.check_stop() {
             let trace_start = Instant::now();
             ctx.emit(Event::StageStarted { round: 0, stage: Stage::Trace });
-            points = (0..num_loops)
-                .map(|l| {
-                    let pts =
-                        collect_loop_states(problem, l, config.max_inputs, config.trace_seeds);
-                    evenly_subsample(pts, config.max_samples_per_loop)
-                })
-                .collect();
-            widened = widened_input_tuples(problem, config);
-            if !ctx.check_stop() {
-                // Loop-head states over the widened input range: every
-                // learned conjunct must fit these before it reaches the
-                // checker, which kills bounds overfitted to the training
-                // range (our substitute for Z3's unbounded refutation).
-                let widened_problem = {
-                    let mut p = problem.clone();
-                    for (lo, hi) in &mut p.input_ranges {
-                        let span = (*hi - *lo).max(1);
-                        *hi += span * (config.widen_factor - 1).max(0);
-                    }
-                    p
-                };
-                validation_points = (0..num_loops)
+            let cache_tag = self
+                .trace_cache
+                .as_ref()
+                .map(|c| (c, crate::cache::TraceCache::tag(problem, config)));
+            let cached = cache_tag.as_ref().and_then(|(c, t)| c.lookup(t));
+            if let Some(data) = cached {
+                points = data.points.clone();
+                validation_points = data.validation_points.clone();
+                widened = data.widened.clone();
+            } else {
+                points = (0..num_loops)
                     .map(|l| {
-                        let pts = collect_loop_states(
-                            &widened_problem,
-                            l,
-                            config.max_inputs,
-                            config.trace_seeds,
-                        );
-                        evenly_subsample(pts, config.max_samples_per_loop * 2)
+                        let pts =
+                            collect_loop_states(problem, l, config.max_inputs, config.trace_seeds);
+                        evenly_subsample(pts, config.max_samples_per_loop)
                     })
                     .collect();
+                widened = widened_input_tuples(problem, config);
+                if !ctx.check_stop() {
+                    // Loop-head states over the widened input range: every
+                    // learned conjunct must fit these before it reaches the
+                    // checker, which kills bounds overfitted to the training
+                    // range (our substitute for Z3's unbounded refutation).
+                    let widened_problem = widen_ranges(problem, config);
+                    validation_points = (0..num_loops)
+                        .map(|l| {
+                            let pts = collect_loop_states(
+                                &widened_problem,
+                                l,
+                                config.max_inputs,
+                                config.trace_seeds,
+                            );
+                            evenly_subsample(pts, config.max_samples_per_loop * 2)
+                        })
+                        .collect();
+                }
+                // Only complete traces may be cached — a deadline that
+                // fired between the two collection passes leaves the
+                // validation set partial, and caching it would poison
+                // every later job with the same key.
+                if ctx.stopped.is_none() {
+                    if let Some((c, t)) = cache_tag {
+                        c.insert(
+                            t,
+                            crate::cache::TraceData {
+                                points: points.clone(),
+                                validation_points: validation_points.clone(),
+                                widened: widened.clone(),
+                            },
+                        );
+                    }
+                }
             }
             ctx.emit(Event::StageFinished {
                 round: 0,
@@ -889,15 +921,22 @@ fn bound_direction(poly: &Poly) -> Poly {
     shifted.normalize_content()
 }
 
-/// Input tuples for checking: the training ranges widened by
-/// `widen_factor` so range-overfitted bounds get refuted.
-fn widened_input_tuples(problem: &Problem, config: &PipelineConfig) -> Vec<Vec<i128>> {
+/// The problem with the upper end of every input range widened by
+/// `widen_factor` (shared by validation-point collection and checker
+/// tuple sampling — the two must never diverge).
+fn widen_ranges(problem: &Problem, config: &PipelineConfig) -> Problem {
     let mut widened = problem.clone();
     for (lo, hi) in &mut widened.input_ranges {
         let span = (*hi - *lo).max(1);
         *hi += span * (config.widen_factor - 1).max(0);
     }
-    gcln_problems::sample_inputs(&widened, config.max_inputs)
+    widened
+}
+
+/// Input tuples for checking: the training ranges widened by
+/// `widen_factor` so range-overfitted bounds get refuted.
+fn widened_input_tuples(problem: &Problem, config: &PipelineConfig) -> Vec<Vec<i128>> {
+    gcln_problems::sample_inputs(&widen_ranges(problem, config), config.max_inputs)
 }
 
 #[cfg(test)]
@@ -1021,6 +1060,56 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e, Event::Counterexample { .. })));
+    }
+
+    #[test]
+    fn trace_cache_hit_is_bit_identical_to_cold_run() {
+        let cache = Arc::new(crate::cache::TraceCache::new());
+        let engine = Engine::new().with_trace_cache(cache.clone());
+        let cold = engine.run(&quick_job("ps2"));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().entries, 1);
+        let warm = engine.run(&quick_job("ps2"));
+        assert!(cache.stats().hits >= 1, "second run must hit: {:?}", cache.stats());
+        // Identical invariants and identical event streams modulo
+        // wall-clock timings (the only nondeterministic field).
+        assert_eq!(cold.valid, warm.valid);
+        for (a, b) in cold.loops.iter().zip(&warm.loops) {
+            assert_eq!(a.formula, b.formula);
+            assert_eq!(a.attempts, b.attempts);
+        }
+        let strip_ms = |events: &[Event]| -> Vec<String> {
+            events
+                .iter()
+                .map(|e| {
+                    let j = e.to_json();
+                    match j.find("\"ms\":") {
+                        Some(i) => j[..i].to_string(),
+                        None => j,
+                    }
+                })
+                .collect()
+        };
+        assert_eq!(strip_ms(&cold.events), strip_ms(&warm.events));
+        // An uncached engine produces the same result as both.
+        let plain = Engine::new().run(&quick_job("ps2"));
+        assert_eq!(strip_ms(&plain.events), strip_ms(&warm.events));
+    }
+
+    #[test]
+    fn stopped_trace_stage_is_not_cached() {
+        let cache = Arc::new(crate::cache::TraceCache::new());
+        let engine = Engine::new().with_trace_cache(cache.clone());
+        // Cancel as soon as trace collection starts: the partial trace
+        // must not be inserted.
+        let job = quick_job("ps2");
+        let token = job.cancel_token();
+        let _ = engine.run_with_events(&job, &mut |e| {
+            if matches!(e, Event::StageStarted { stage: Stage::Trace, .. }) {
+                token.cancel();
+            }
+        });
+        assert_eq!(cache.stats().entries, 0, "partial traces must not be cached");
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! The persistent job journal: one JSON object per line, appended when
+//! a job completes, replayed on server start.
+//!
+//! This is the ROADMAP's "event sinks beyond stdout" item for the
+//! service scenario: a `gcln serve --journal jobs.jsonl` process can be
+//! restarted and keep serving every completed job's result — learned
+//! invariants *and* the full event stream — without re-running
+//! inference.
+//!
+//! Format: each line is a `{"type":"job", …}` object exactly matching
+//! the `GET /jobs/{id}` response schema (see the crate docs), plus the
+//! `type` tag. Lines that fail to parse (e.g. a torn final line after a
+//! crash) are skipped and counted, never fatal.
+
+use crate::json::Json;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The result of opening a journal: replayed records plus the handle
+/// for appending.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+    replayed: Vec<Json>,
+    skipped_lines: usize,
+}
+
+impl Journal {
+    /// Opens (creating if absent) a journal for append, first replaying
+    /// every well-formed `{"type":"job"}` line already present.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be opened
+    /// or created.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let mut replayed = Vec::new();
+        let mut skipped_lines = 0;
+        if let Ok(existing) = File::open(&path) {
+            // Raw byte lines, decoded lossily per line: a crash can tear
+            // the final line anywhere — including inside a multi-byte
+            // UTF-8 sequence — and replay must skip it, not refuse to
+            // start the server. (Genuine I/O errors stay fatal: an
+            // unreadable disk is not a torn line.)
+            let mut reader = BufReader::new(existing);
+            let mut buf = Vec::new();
+            loop {
+                buf.clear();
+                if reader.read_until(b'\n', &mut buf)? == 0 {
+                    break;
+                }
+                let line = String::from_utf8_lossy(&buf);
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match Json::parse(line) {
+                    Ok(v) if v.get("type").and_then(Json::as_str) == Some("job") => {
+                        replayed.push(v)
+                    }
+                    _ => skipped_lines += 1,
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal { path, file: Mutex::new(file), replayed, skipped_lines })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records replayed at open, in file order.
+    pub fn replayed(&self) -> &[Json] {
+        &self.replayed
+    }
+
+    /// Takes ownership of the replayed records, leaving the journal
+    /// empty-handed. The server calls this once at startup so the
+    /// parsed records (each carrying a full event stream) drop after
+    /// conversion instead of living in memory for the process lifetime.
+    pub fn take_replayed(&mut self) -> Vec<Json> {
+        std::mem::take(&mut self.replayed)
+    }
+
+    /// Malformed lines skipped at open.
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+
+    /// Appends one record line (the caller passes a complete JSON
+    /// object without trailing newline) and flushes it to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on a failed write.
+    pub fn append(&self, line: &str) -> std::io::Result<()> {
+        debug_assert!(!line.contains('\n'), "journal records must be single lines");
+        let mut file = self.file.lock().unwrap();
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gcln-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrips_records_and_skips_torn_lines() {
+        let path = tmp("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = Journal::open(&path).unwrap();
+            assert!(j.replayed().is_empty());
+            j.append(r#"{"type":"job","id":"job-1","valid":true}"#).unwrap();
+            j.append(r#"{"type":"job","id":"job-2","valid":false}"#).unwrap();
+        }
+        // Simulate a crash mid-append: a torn trailing line, cut inside
+        // a multi-byte UTF-8 sequence (the first byte of `é`) — replay
+        // must skip it, not refuse to open.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"type\":\"job\",\"id\":\"job-3\",\"name\":\"caf\xc3").unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.replayed().len(), 2);
+        assert_eq!(j.skipped_lines(), 1);
+        assert_eq!(
+            j.replayed()[1].get("id").and_then(Json::as_str),
+            Some("job-2")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_job_records_are_ignored() {
+        let path = tmp("foreign.jsonl");
+        std::fs::write(&path, "{\"type\":\"metrics\",\"x\":1}\n{\"type\":\"job\",\"id\":\"job-9\"}\n").unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.replayed().len(), 1);
+        assert_eq!(j.skipped_lines(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

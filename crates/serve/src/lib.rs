@@ -1,0 +1,58 @@
+//! # gcln-serve — the HTTP batch inference service
+//!
+//! A hand-rolled HTTP/1.1 front end (no async runtime exists in the
+//! offline vendor set) over [`gcln_engine`]: submissions queue into a
+//! bounded job queue, a fixed worker pool drives
+//! [`gcln_engine::Engine`] jobs, and results — learned invariants plus
+//! the full structured [`gcln_engine::Event`] stream — are served back
+//! as JSON and journaled to disk for restart replay.
+//!
+//! ## API
+//!
+//! | Route | Semantics |
+//! |---|---|
+//! | `POST /jobs` | Submit a `.loop` source (`{"source": …}` plus optional `name`, `fast`, `deadline_secs`, `step_budget`, `max_degree`). `202` with a job id, `503` + `Retry-After` when the queue is full. |
+//! | `GET /jobs/{id}` | Status, learned invariants, and the accumulated event stream. |
+//! | `DELETE /jobs/{id}` | Trip the job's [`gcln_engine::CancelToken`]; the partial outcome (events intact) stays queryable. |
+//! | `GET /healthz` | Liveness. |
+//! | `GET /stats` | Queue depth, worker utilization, spec/trace cache hit rates, journal state. |
+//! | `POST /shutdown` | Graceful stop: running jobs are cancelled, journaled, and every thread joins. |
+//!
+//! Full request/response schemas are documented in the repository
+//! README ("The HTTP service").
+//!
+//! ## Layers
+//!
+//! - [`json`] — strict RFC 8259 value parser/renderer (request bodies,
+//!   journal replay, and the test oracle for the engine's hand-rolled
+//!   event serializer).
+//! - [`http`] — incremental request reader and response writer; every
+//!   malformed input maps to a 4xx/5xx error value, never a panic.
+//! - [`cache`] — the spec cache: content-hashed memoization of
+//!   [`gcln_engine::ProblemSpec::from_source_str`]. (The Trace-stage
+//!   cache lives engine-side in [`gcln_engine::cache`]; the server
+//!   wires one into its shared engine.)
+//! - [`journal`] — JSON-lines persistence of completed jobs.
+//! - [`server`] — queue, worker pool, routing, replay.
+//! - [`client`] — a minimal blocking client for tests and scripts.
+//!
+//! ## Determinism
+//!
+//! The engine's guarantee (outcomes are bit-identical at any worker or
+//! thread count) extends through the service: submitting the same
+//! source twice — concurrently, across cache hits, or across a server
+//! restart — yields identical invariants and identical event streams
+//! modulo the wall-clock `ms` timing fields.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod journal;
+pub mod json;
+pub mod server;
+
+pub use cache::SpecCache;
+pub use http::{HttpError, Limits, Request, Response};
+pub use journal::Journal;
+pub use json::{Json, JsonError};
+pub use server::{start, ServeConfig, ServerHandle};

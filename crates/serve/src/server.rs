@@ -1,0 +1,881 @@
+//! The batch inference server: a bounded job queue and a fixed worker
+//! pool over [`gcln_engine::Engine`], fronted by the hand-rolled HTTP
+//! layer ([`crate::http`]).
+//!
+//! Life of a job:
+//!
+//! 1. `POST /jobs` parses the body, resolves the spec through the
+//!    [`SpecCache`] (content-hash memoized), and enqueues — or answers
+//!    `503` + `Retry-After` when the queue is at capacity (backpressure
+//!    instead of latency collapse).
+//! 2. A worker thread pops the id, builds a [`Job`] with the
+//!    submission's deadline/step budget and the record's
+//!    [`CancelToken`], and drives the engine; every [`Event`] is
+//!    appended to the record as a pre-serialized JSON line.
+//! 3. On completion the record flips to `done` and — when a journal is
+//!    configured — one JSON line is appended, so a restarted server
+//!    replays the result without re-running inference.
+//!
+//! `DELETE /jobs/{id}` trips the token; the engine stops cooperatively
+//! between stages/attempts and the record keeps its partial events and
+//! invariants (`"stopped":"cancelled"`).
+//!
+//! Determinism: workers share one [`TraceCache`]-backed engine, and both
+//! caches are keyed purely by content, so concurrent submissions of the
+//! same source produce bit-identical results and event streams (modulo
+//! the wall-clock `ms` timing fields).
+
+use crate::cache::SpecCache;
+use crate::http::{read_request, Limits, Request, Response};
+use crate::journal::Journal;
+use crate::json::Json;
+use gcln_engine::cache::TraceCache;
+use gcln_engine::events::json_string;
+use gcln_engine::{CancelToken, Engine, Job, PipelineConfig, ProblemSpec};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration; see `gcln serve` for the CLI spelling.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind host (loopback by default — put a real proxy in front for
+    /// anything public).
+    pub host: String,
+    /// Bind port; `0` picks an ephemeral port (reported by
+    /// [`ServerHandle::local_addr`] and the CLI's `listening on` line).
+    pub port: u16,
+    /// Inference worker threads (the HTTP layer has its own
+    /// thread-per-connection accept loop).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it get `503`.
+    pub queue_cap: usize,
+    /// JSON-lines job journal path (`None` = no persistence).
+    pub journal: Option<PathBuf>,
+    /// Completed-job records retained in memory (oldest evicted
+    /// beyond this; queued/running jobs are never evicted). Evicted
+    /// results remain in the journal, which restart replay caps the
+    /// same way. Bounds a long-lived server's memory.
+    pub max_retained_jobs: usize,
+    /// Ceiling on every job's wall-clock deadline (`None` = unlimited).
+    /// Submissions without `deadline_secs` get exactly this deadline;
+    /// requested deadlines are clamped to it. Keeps one pathological
+    /// job from pinning a worker forever.
+    pub max_job_time: Option<Duration>,
+    /// HTTP parser limits.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            workers: 2,
+            queue_cap: 16,
+            journal: None,
+            max_retained_jobs: 4096,
+            max_job_time: Some(Duration::from_secs(600)),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Job lifecycle states exposed by the API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobStatus {
+    Queued,
+    Running,
+    Done,
+}
+
+impl JobStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+        }
+    }
+}
+
+/// Everything a worker needs to run a queued job.
+struct QueuedWork {
+    spec: ProblemSpec,
+    config: PipelineConfig,
+    deadline: Option<Duration>,
+    step_budget: Option<u64>,
+}
+
+/// One learned invariant in API form.
+struct InvariantOut {
+    loop_id: u64,
+    formula: String,
+    attempts: u64,
+}
+
+/// Mutable job state behind the record's lock.
+struct JobState {
+    status: JobStatus,
+    valid: bool,
+    stopped: Option<String>,
+    cegis_rounds: u64,
+    seconds: f64,
+    invariants: Vec<InvariantOut>,
+    /// Event lines, each a complete JSON object, in emission order.
+    events: Vec<String>,
+}
+
+struct JobRecord {
+    id: u64,
+    name: String,
+    source_hash: u64,
+    cancel: CancelToken,
+    pending: Mutex<Option<QueuedWork>>,
+    state: Mutex<JobState>,
+}
+
+impl JobRecord {
+    /// The API id (`job-<n>`).
+    fn api_id(&self) -> String {
+        format!("job-{}", self.id)
+    }
+
+    /// The record's fields as the members of a JSON object (no braces)
+    /// — shared verbatim by `GET /jobs/{id}` and the journal format.
+    fn body_json(&self) -> String {
+        let st = self.state.lock().unwrap();
+        let stopped = match &st.stopped {
+            None => "null".to_string(),
+            Some(reason) => json_string(reason),
+        };
+        let invariants: Vec<String> = st
+            .invariants
+            .iter()
+            .map(|inv| {
+                format!(
+                    r#"{{"loop":{},"formula":{},"attempts":{}}}"#,
+                    inv.loop_id,
+                    json_string(&inv.formula),
+                    inv.attempts
+                )
+            })
+            .collect();
+        format!(
+            r#""id":{},"name":{},"source_hash":"{:016x}","status":"{}","valid":{},"stopped":{},"cegis_rounds":{},"seconds":{:.3},"invariants":[{}],"events":[{}]"#,
+            json_string(&self.api_id()),
+            json_string(&self.name),
+            self.source_hash,
+            st.status.as_str(),
+            st.valid,
+            stopped,
+            st.cegis_rounds,
+            st.seconds,
+            invariants.join(","),
+            st.events.join(",")
+        )
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    local_addr: SocketAddr,
+    engine: Engine,
+    spec_cache: SpecCache,
+    trace_cache: Arc<TraceCache>,
+    journal: Option<Journal>,
+    journal_rejected: usize,
+    /// Records successfully replayed at startup (fixed; `/stats` must
+    /// not re-derive this from the evictable jobs map).
+    journal_replayed: usize,
+    jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    next_id: AtomicU64,
+    busy_workers: AtomicUsize,
+    completed: AtomicU64,
+    shutdown: AtomicBool,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn trigger_shutdown(&self) {
+        {
+            // The flag flips under the queue lock — the same lock job
+            // admission checks it under — so a submission either sees
+            // shutdown (503) or lands in the queue *before* the flag is
+            // set, where the drain loop below is guaranteed to run it.
+            let _queue = self.queue.lock().unwrap();
+            if self.shutdown.swap(true, Ordering::SeqCst) {
+                return;
+            }
+            // Cancel everything queued or running so workers drain
+            // promptly; cancelled jobs still complete with partial
+            // outcomes and reach the journal.
+            for record in self.jobs.lock().unwrap().values() {
+                record.cancel.cancel();
+            }
+            self.queue_cv.notify_all();
+        }
+        // Wake the acceptor out of its blocking `accept`.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A running server: the bound address plus the thread handles needed
+/// for a clean shutdown.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound socket address (resolves `port: 0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.shared.local_addr.port()
+    }
+
+    /// Triggers shutdown and joins every server thread. Running jobs
+    /// are cancelled (they finish as `stopped: cancelled` partial
+    /// outcomes and are journaled).
+    pub fn shutdown(mut self) {
+        self.shared.trigger_shutdown();
+        self.join();
+    }
+
+    /// Blocks until the server shuts down (e.g. via `POST /shutdown`).
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Acceptor is down, so the connection set is final.
+        let conns: Vec<JoinHandle<()>> =
+            self.shared.conn_threads.lock().unwrap().drain(..).collect();
+        for conn in conns {
+            let _ = conn.join();
+        }
+    }
+}
+
+/// Starts the server: binds, replays the journal (if any), and spawns
+/// the acceptor and worker threads.
+///
+/// # Errors
+///
+/// Returns an I/O error when the bind fails, the journal cannot be
+/// opened, or the configuration is degenerate (zero workers/queue).
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    use std::io::{Error, ErrorKind};
+    if cfg.workers == 0 || cfg.queue_cap == 0 || cfg.max_retained_jobs == 0 {
+        return Err(Error::new(
+            ErrorKind::InvalidInput,
+            "workers, queue-cap, and max_retained_jobs must be >= 1",
+        ));
+    }
+    let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
+    let local_addr = listener.local_addr()?;
+
+    let mut journal = match &cfg.journal {
+        Some(path) => Some(Journal::open(path)?),
+        None => None,
+    };
+    let mut jobs = HashMap::new();
+    let mut next_id = 1;
+    let mut journal_rejected = 0;
+    let mut journal_replayed = 0;
+    if let Some(journal) = &mut journal {
+        // Drain (not borrow) the parsed records so they drop here —
+        // a long journal must not stay resident beyond startup.
+        for record in journal.take_replayed() {
+            match replay_record(&record) {
+                Some(r) => {
+                    journal_replayed += 1;
+                    next_id = next_id.max(r.id + 1);
+                    jobs.insert(r.id, Arc::new(r));
+                }
+                None => journal_rejected += 1,
+            }
+        }
+        evict_completed(&mut jobs, cfg.max_retained_jobs);
+    }
+
+    let trace_cache = Arc::new(TraceCache::new());
+    let shared = Arc::new(Shared {
+        engine: Engine::new().with_trace_cache(trace_cache.clone()),
+        spec_cache: SpecCache::new(),
+        trace_cache,
+        journal,
+        journal_rejected,
+        journal_replayed,
+        jobs: Mutex::new(jobs),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        next_id: AtomicU64::new(next_id),
+        busy_workers: AtomicUsize::new(0),
+        completed: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+        conn_threads: Mutex::new(Vec::new()),
+        local_addr,
+        cfg,
+    });
+
+    let workers = (0..shared.cfg.workers)
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("gcln-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+    let acceptor = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("gcln-serve-accept".to_string())
+            .spawn(move || accept_loop(&shared, listener))
+            .expect("spawn acceptor")
+    };
+    Ok(ServerHandle { shared, acceptor: Some(acceptor), workers })
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        let accepted = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match accepted {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // Persistent accept errors (fd exhaustion, interrupts)
+                // must not busy-spin the acceptor.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        let conn_shared = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name("gcln-serve-conn".to_string())
+            .spawn(move || handle_connection(&conn_shared, stream));
+        match spawned {
+            Ok(handle) => {
+                let mut conns = shared.conn_threads.lock().unwrap();
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+            // Thread exhaustion: the failed spawn consumed (and closed)
+            // the stream, so this connection is shed — the client sees a
+            // reset and retries. What matters is that the acceptor
+            // survives: a panic here would drop the listener and wedge
+            // the whole process with workers still joined on.
+            Err(e) => {
+                eprintln!("[gcln-serve] connection thread spawn failed (shedding): {e}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    // Bounded patience per connection: a stalled peer must not pin the
+    // thread (or delay shutdown joins) forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let response = match read_request(&mut stream, &shared.cfg.limits) {
+        Ok(None) => return,
+        Ok(Some(request)) => route(shared, &request),
+        Err(e) => Response::from(e),
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn route(shared: &Arc<Shared>, request: &Request) -> Response {
+    let path = request.path();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Response::json(200, r#"{"ok":true}"#),
+        ("GET", "/stats") => stats(shared),
+        ("POST", "/jobs") => post_job(shared, request),
+        ("POST", "/shutdown") => {
+            shared.trigger_shutdown();
+            Response::json(200, r#"{"ok":true,"shutting_down":true}"#)
+        }
+        (method, path) if path.strip_prefix("/jobs/").is_some() => {
+            let id = path.strip_prefix("/jobs/").unwrap_or_default();
+            match method {
+                "GET" => get_job(shared, id),
+                "DELETE" => delete_job(shared, id),
+                _ => Response::error(405, "use GET or DELETE on /jobs/{id}")
+                    .with_header("allow", "GET, DELETE"),
+            }
+        }
+        (_, "/jobs") => Response::error(405, "use POST on /jobs").with_header("allow", "POST"),
+        (_, "/healthz" | "/stats") => {
+            Response::error(405, "use GET here").with_header("allow", "GET")
+        }
+        (_, "/shutdown") => {
+            Response::error(405, "use POST on /shutdown").with_header("allow", "POST")
+        }
+        _ => Response::error(404, "no such resource"),
+    }
+}
+
+/// Allowed `POST /jobs` body keys — anything else is a 400 so typos
+/// (`"deadline"` for `"deadline_secs"`) fail loudly instead of being
+/// silently ignored.
+const JOB_KEYS: [&str; 6] = ["source", "name", "fast", "deadline_secs", "step_budget", "max_degree"];
+
+/// Largest accepted `max_degree` override — above the auto-derivation
+/// clamp (6) for headroom, but bounded.
+const MAX_DEGREE_OVERRIDE: u64 = 8;
+
+fn post_job(shared: &Arc<Shared>, request: &Request) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::error(503, "server is shutting down").with_header("retry-after", "1");
+    }
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let body = match Json::parse(text) {
+        Ok(v @ Json::Obj(_)) => v,
+        Ok(_) => return Response::error(400, "body must be a JSON object"),
+        Err(e) => return Response::error(400, &format!("body is not valid JSON: {e}")),
+    };
+    if let Json::Obj(members) = &body {
+        for (key, _) in members {
+            if !JOB_KEYS.contains(&key.as_str()) {
+                return Response::error(
+                    400,
+                    &format!("unknown key {key:?} (allowed: {})", JOB_KEYS.join(", ")),
+                );
+            }
+        }
+    }
+    let Some(source) = body.get("source").and_then(Json::as_str) else {
+        return Response::error(400, "missing required string field \"source\"");
+    };
+    let name = match body.get("name") {
+        None => None,
+        Some(v) => match v.as_str() {
+            Some(s) => Some(s),
+            None => return Response::error(400, "\"name\" must be a string"),
+        },
+    };
+    let fast = match body.get("fast") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return Response::error(400, "\"fast\" must be a boolean"),
+        },
+    };
+    let deadline = match body.get("deadline_secs") {
+        None => None,
+        Some(v) => match v.as_f64().filter(|s| s.is_finite() && *s >= 0.0) {
+            Some(secs) => match Duration::try_from_secs_f64(secs) {
+                Ok(d) => Some(d),
+                Err(_) => return Response::error(400, "\"deadline_secs\" out of range"),
+            },
+            None => {
+                return Response::error(400, "\"deadline_secs\" must be a non-negative number")
+            }
+        },
+    };
+    let step_budget = match body.get("step_budget") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(steps) => Some(steps),
+            None => return Response::error(400, "\"step_budget\" must be a non-negative integer"),
+        },
+    };
+    // Term enumeration explodes combinatorially with degree (the
+    // auto-derivation clamp is [2,6]); an unbounded override would let
+    // one request pin a worker indefinitely.
+    let max_degree = match body.get("max_degree") {
+        None => None,
+        Some(v) => match v.as_u64().filter(|d| (1..=MAX_DEGREE_OVERRIDE).contains(d)) {
+            Some(d) => Some(d as u32),
+            None => {
+                return Response::error(
+                    400,
+                    &format!("\"max_degree\" must be an integer in 1..={MAX_DEGREE_OVERRIDE}"),
+                )
+            }
+        },
+    };
+
+    let (source_hash, mut spec) = match shared.spec_cache.fetch(source, name) {
+        Ok(hit) => hit,
+        Err(e) => return Response::error(400, &format!("source does not parse: {e}")),
+    };
+    spec.apply_overrides(max_degree, &[]);
+    let config = if fast { PipelineConfig::fast() } else { PipelineConfig::default() };
+    let work = QueuedWork { spec, config, deadline, step_budget };
+
+    // Queue admission holds the queue lock across the capacity check and
+    // push so two racing submissions cannot both squeeze past the cap —
+    // and re-checks shutdown under the same lock, which (paired with
+    // `trigger_shutdown` flipping the flag under it) guarantees an
+    // admitted job is either drained by a worker or rejected, never
+    // stranded as permanently "queued".
+    let mut queue = shared.queue.lock().unwrap();
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::error(503, "server is shutting down").with_header("retry-after", "1");
+    }
+    if queue.len() >= shared.cfg.queue_cap {
+        return Response::error(503, "job queue is full").with_header("retry-after", "1");
+    }
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let record = Arc::new(JobRecord {
+        id,
+        name: work.spec.problem.name.clone(),
+        source_hash,
+        cancel: CancelToken::new(),
+        pending: Mutex::new(Some(work)),
+        state: Mutex::new(JobState {
+            status: JobStatus::Queued,
+            valid: false,
+            stopped: None,
+            cegis_rounds: 0,
+            seconds: 0.0,
+            invariants: Vec::new(),
+            events: Vec::new(),
+        }),
+    });
+    shared.jobs.lock().unwrap().insert(id, record.clone());
+    queue.push_back(id);
+    drop(queue);
+    shared.queue_cv.notify_one();
+    Response::json(
+        202,
+        format!(
+            r#"{{"id":{},"status":"queued","name":{},"source_hash":"{:016x}"}}"#,
+            json_string(&record.api_id()),
+            json_string(&record.name),
+            source_hash
+        ),
+    )
+}
+
+/// Parses `job-<n>` into the numeric id.
+fn parse_job_id(id: &str) -> Option<u64> {
+    id.strip_prefix("job-")?.parse().ok()
+}
+
+fn lookup(shared: &Arc<Shared>, id: &str) -> Option<Arc<JobRecord>> {
+    let id = parse_job_id(id)?;
+    shared.jobs.lock().unwrap().get(&id).cloned()
+}
+
+fn get_job(shared: &Arc<Shared>, id: &str) -> Response {
+    match lookup(shared, id) {
+        Some(record) => Response::json(200, format!("{{{}}}", record.body_json())),
+        None => Response::error(404, "no such job"),
+    }
+}
+
+fn delete_job(shared: &Arc<Shared>, id: &str) -> Response {
+    match lookup(shared, id) {
+        Some(record) => {
+            record.cancel.cancel();
+            let status = record.state.lock().unwrap().status;
+            Response::json(
+                200,
+                format!(
+                    r#"{{"id":{},"status":"{}","cancelled":true}}"#,
+                    json_string(&record.api_id()),
+                    status.as_str()
+                ),
+            )
+        }
+        None => Response::error(404, "no such job"),
+    }
+}
+
+fn stats(shared: &Arc<Shared>) -> Response {
+    let queue_depth = shared.queue.lock().unwrap().len();
+    let (mut queued, mut running, mut done) = (0u64, 0u64, 0u64);
+    let total = {
+        let jobs = shared.jobs.lock().unwrap();
+        for record in jobs.values() {
+            match record.state.lock().unwrap().status {
+                JobStatus::Queued => queued += 1,
+                JobStatus::Running => running += 1,
+                JobStatus::Done => done += 1,
+            }
+        }
+        jobs.len()
+    };
+    let cache_json = |s: gcln_engine::cache::CacheStats| {
+        format!(r#"{{"hits":{},"misses":{},"entries":{}}}"#, s.hits, s.misses, s.entries)
+    };
+    let journal = match &shared.journal {
+        None => "null".to_string(),
+        Some(j) => format!(
+            r#"{{"path":{},"jobs_replayed":{},"lines_skipped":{}}}"#,
+            json_string(&j.path().display().to_string()),
+            shared.journal_replayed,
+            j.skipped_lines() + shared.journal_rejected
+        ),
+    };
+    Response::json(
+        200,
+        format!(
+            r#"{{"queue_depth":{},"queue_cap":{},"workers":{},"busy_workers":{},"jobs":{{"total":{},"queued":{},"running":{},"done":{},"completed_this_process":{}}},"spec_cache":{},"trace_cache":{},"journal":{}}}"#,
+            queue_depth,
+            shared.cfg.queue_cap,
+            shared.cfg.workers,
+            shared.busy_workers.load(Ordering::Relaxed),
+            total,
+            queued,
+            running,
+            done,
+            shared.completed.load(Ordering::Relaxed),
+            cache_json(shared.spec_cache.stats()),
+            cache_json(shared.trace_cache.stats()),
+            journal
+        ),
+    )
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let id = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).unwrap();
+            }
+        };
+        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
+        run_job(shared, id);
+        shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, id: u64) {
+    let Some(record) = shared.jobs.lock().unwrap().get(&id).cloned() else { return };
+    let Some(work) = record.pending.lock().unwrap().take() else { return };
+    record.state.lock().unwrap().status = JobStatus::Running;
+
+    let mut job = Job::new(work.spec).with_config(work.config);
+    job.cancel = record.cancel.clone();
+    // The server-wide job-time ceiling applies even when the
+    // submission asked for no deadline at all.
+    let deadline = match (work.deadline, shared.cfg.max_job_time) {
+        (Some(requested), Some(cap)) => Some(requested.min(cap)),
+        (None, cap) => cap,
+        (requested, None) => requested,
+    };
+    if let Some(deadline) = deadline {
+        job = job.with_deadline(deadline);
+    }
+    if let Some(steps) = work.step_budget {
+        job = job.with_step_budget(steps);
+    }
+    let sink_record = record.clone();
+    let outcome = shared.engine.run_with_events(&job, &mut |event| {
+        sink_record.state.lock().unwrap().events.push(event.to_json());
+    });
+
+    let names = job.spec.problem.extended_names();
+    {
+        let mut st = record.state.lock().unwrap();
+        st.status = JobStatus::Done;
+        st.valid = outcome.valid;
+        st.stopped = outcome.stopped.map(|r| r.as_str().to_string());
+        st.cegis_rounds = outcome.cegis_rounds_used as u64;
+        st.seconds = outcome.runtime.as_secs_f64();
+        st.invariants = outcome
+            .loops
+            .iter()
+            .map(|li| InvariantOut {
+                loop_id: li.loop_id as u64,
+                formula: li.formula.display(&names).to_string(),
+                attempts: li.attempts as u64,
+            })
+            .collect();
+    }
+    if let Some(journal) = &shared.journal {
+        let line = format!(r#"{{"type":"job",{}}}"#, record.body_json());
+        if let Err(e) = journal.append(&line) {
+            eprintln!("[gcln-serve] journal append failed for {}: {e}", record.api_id());
+        }
+    }
+    evict_completed(&mut shared.jobs.lock().unwrap(), shared.cfg.max_retained_jobs);
+}
+
+/// Drops the oldest completed records beyond `max_retained` — each
+/// retains its full event stream, so an unbounded map would grow with
+/// total submissions forever. Queued/running jobs are never evicted.
+fn evict_completed(jobs: &mut HashMap<u64, Arc<JobRecord>>, max_retained: usize) {
+    let mut done: Vec<u64> = jobs
+        .iter()
+        .filter(|(_, r)| r.state.lock().unwrap().status == JobStatus::Done)
+        .map(|(&id, _)| id)
+        .collect();
+    let excess = done.len().saturating_sub(max_retained);
+    if excess == 0 {
+        return;
+    }
+    done.sort_unstable();
+    for id in done.into_iter().take(excess) {
+        jobs.remove(&id);
+    }
+}
+
+/// Rebuilds a completed job record from one journal object; `None`
+/// rejects structurally unusable records (missing id/status).
+fn replay_record(v: &Json) -> Option<JobRecord> {
+    let id = parse_job_id(v.get("id")?.as_str()?)?;
+    let status = v.get("status")?.as_str()?;
+    if status != "done" {
+        return None;
+    }
+    let invariants = v
+        .get("invariants")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|inv| {
+            Some(InvariantOut {
+                loop_id: inv.get("loop")?.as_u64()?,
+                formula: inv.get("formula")?.as_str()?.to_string(),
+                attempts: inv.get("attempts")?.as_u64()?,
+            })
+        })
+        .collect();
+    let events = v
+        .get("events")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .map(Json::render)
+        .collect();
+    Some(JobRecord {
+        id,
+        name: v.get("name").and_then(Json::as_str).unwrap_or("?").to_string(),
+        source_hash: v
+            .get("source_hash")
+            .and_then(Json::as_str)
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .unwrap_or(0),
+        cancel: CancelToken::new(),
+        pending: Mutex::new(None),
+        state: Mutex::new(JobState {
+            status: JobStatus::Done,
+            valid: v.get("valid").and_then(Json::as_bool).unwrap_or(false),
+            stopped: v
+                .get("stopped")
+                .filter(|s| !s.is_null())
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            cegis_rounds: v.get("cegis_rounds").and_then(Json::as_u64).unwrap_or(0),
+            seconds: v.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+            invariants,
+            events,
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_ids_parse_strictly() {
+        assert_eq!(parse_job_id("job-12"), Some(12));
+        assert_eq!(parse_job_id("job-"), None);
+        assert_eq!(parse_job_id("12"), None);
+        assert_eq!(parse_job_id("job-x"), None);
+    }
+
+    #[test]
+    fn replay_rejects_unusable_records() {
+        let good = Json::parse(
+            r#"{"type":"job","id":"job-4","status":"done","valid":true,
+                "invariants":[{"loop":0,"formula":"x == 0","attempts":2}],
+                "events":[{"event":"job_finished","valid":true,"cegis_rounds":0,"ms":1.0}]}"#,
+        )
+        .unwrap();
+        let record = replay_record(&good).unwrap();
+        assert_eq!(record.id, 4);
+        let st = record.state.lock().unwrap();
+        assert!(st.valid);
+        assert_eq!(st.invariants.len(), 1);
+        assert_eq!(st.events.len(), 1);
+        drop(st);
+        for bad in [
+            r#"{"type":"job","status":"done"}"#,
+            r#"{"type":"job","id":"job-1"}"#,
+            r#"{"type":"job","id":"nope","status":"done"}"#,
+        ] {
+            assert!(replay_record(&Json::parse(bad).unwrap()).is_none(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn eviction_drops_oldest_done_only() {
+        let record = |id: u64, status: JobStatus| {
+            Arc::new(JobRecord {
+                id,
+                name: "x".into(),
+                source_hash: 0,
+                cancel: CancelToken::new(),
+                pending: Mutex::new(None),
+                state: Mutex::new(JobState {
+                    status,
+                    valid: false,
+                    stopped: None,
+                    cegis_rounds: 0,
+                    seconds: 0.0,
+                    invariants: Vec::new(),
+                    events: Vec::new(),
+                }),
+            })
+        };
+        let mut jobs = HashMap::new();
+        jobs.insert(1, record(1, JobStatus::Done));
+        jobs.insert(2, record(2, JobStatus::Queued));
+        jobs.insert(3, record(3, JobStatus::Done));
+        jobs.insert(4, record(4, JobStatus::Running));
+        jobs.insert(5, record(5, JobStatus::Done));
+        evict_completed(&mut jobs, 2);
+        // Oldest done (id 1) evicted; queued/running untouched.
+        let mut ids: Vec<u64> = jobs.keys().copied().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3, 4, 5]);
+        evict_completed(&mut jobs, 2);
+        assert_eq!(jobs.len(), 4, "at cap: nothing more to evict");
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let cfg = ServeConfig { workers: 0, ..ServeConfig::default() };
+        assert!(start(cfg).is_err());
+        let cfg = ServeConfig { queue_cap: 0, ..ServeConfig::default() };
+        assert!(start(cfg).is_err());
+    }
+}

@@ -23,4 +23,5 @@ pub use gcln_lang;
 pub use gcln_logic;
 pub use gcln_numeric;
 pub use gcln_problems;
+pub use gcln_serve;
 pub use gcln_tensor;
