@@ -1,8 +1,12 @@
 //! Criterion benches: one per pipeline stage plus end-to-end problems,
 //! backing the timing claims in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Estimate};
 use gcln::data::{collect_loop_states, Dataset};
+use gcln_bench::mixed::{
+    mixed_jobs, profile_job, replay_job_granularity, replay_stage_graph, JobProfile,
+};
+use gcln_sched::{Granularity, SchedConfig, Scheduler, SubmitOptions};
 use gcln::model::{train_equality_gcln, GclnConfig};
 use gcln::pipeline::{infer_invariants, PipelineConfig};
 use gcln::terms::{growth_filter, TermSpace};
@@ -132,12 +136,82 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// The mixed-workload scheduling bench (8 small + 2 large problems at
+/// 4 workers; see `gcln_bench::mixed`). Two kinds of rows:
+///
+/// - `sched/mixed_{stage_graph,job_granularity}_4w` — measured wall
+///   clock of the real batch through the real scheduler. Meaningful on
+///   ≥ 4-core hardware; on a single-core container both collapse to
+///   total-work and read near parity.
+/// - `sched/mixed_makespan_{stage,whole}_4w` — deterministic makespan
+///   replay over per-task durations profiled solo in this same run:
+///   the 4-worker wall clock the two policies produce when workers are
+///   real parallel resources. The stage/whole ratio here is the
+///   utilization win (gated ≥ 1.3× by the `mixed` module's tests).
+fn bench_sched_mixed(c: &mut Criterion) {
+    let run_batch = |granularity: Granularity| {
+        let sched = Scheduler::new(SchedConfig::with_workers(4));
+        let tickets: Vec<_> = mixed_jobs()
+            .into_iter()
+            .map(|job| {
+                sched.submit_with(
+                    job,
+                    SubmitOptions { granularity, ..SubmitOptions::default() },
+                    None,
+                    None,
+                )
+            })
+            .collect();
+        let solved = tickets.iter().filter(|t| t.wait().valid).count();
+        sched.shutdown();
+        solved
+    };
+    let mut group = c.benchmark_group("sched");
+    group.sample_size(5);
+    group.bench_function("mixed_job_granularity_4w", |b| {
+        b.iter(|| run_batch(Granularity::WholeJob))
+    });
+    group.bench_function("mixed_stage_graph_4w", |b| b.iter(|| run_batch(Granularity::Stage)));
+    group.finish();
+
+    // The profiling pass costs a full serial batch; skip it when a CLI
+    // name filter excludes the replay rows (same contains-semantics as
+    // the shim's own filtering).
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    if filter.is_some_and(|f| {
+        !"sched/mixed_makespan_whole_4w".contains(f.as_str())
+            && !"sched/mixed_makespan_stage_4w".contains(f.as_str())
+    }) {
+        return;
+    }
+    let engine = gcln_engine::Engine::new();
+    let profiles: Vec<JobProfile> =
+        mixed_jobs().iter().map(|job| profile_job(&engine, job)).collect();
+    let replay_row = |name: &str, seconds: f64| Estimate {
+        name: name.to_string(),
+        mean_ns: seconds * 1e9,
+        median_ns: seconds * 1e9,
+        stddev_ns: 0.0,
+        samples: 1,
+        iters_per_sample: 1,
+    };
+    let whole = replay_job_granularity(&profiles, 4);
+    let stage = replay_stage_graph(&profiles, 4);
+    println!(
+        "sched/mixed makespan replay @4w: whole {whole:.3}s, stage {stage:.3}s, {:.2}x",
+        whole / stage
+    );
+    c.record_external(replay_row("sched/mixed_makespan_whole_4w", whole));
+    c.record_external(replay_row("sched/mixed_makespan_stage_4w", stage));
+}
+
 criterion_group!(
     benches,
     bench_trace_collection,
     bench_training_epochs,
     bench_groebner,
     bench_checker,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_sched_mixed
 );
 criterion_main!(benches);

@@ -5,15 +5,15 @@
 //! ```text
 //! gcln run <file.loop|registry-name> [--fast] [--json] [--deadline S]
 //!          [--steps N] [--max-degree D] [--range LO:HI ...]
-//! gcln suite nla|linear [--fast] [--json] [--limit N] [--expect N] [name ...]
-//! gcln table2 [--fast] [--json] [--expect N] [name ...]
+//! gcln suite nla|linear [--fast] [--json] [--limit N] [--expect N] [--workers N] [name ...]
+//! gcln table2 [--fast] [--json] [--expect N] [--workers N] [name ...]
 //! gcln table3 [--all | name ...]
 //! gcln table4 [--runs N]
-//! gcln code2inv [--limit N] [--json] [--expect N]
+//! gcln code2inv [--limit N] [--json] [--expect N] [--workers N]
 //! gcln table1                 # alias of `fig 4`
 //! gcln fig <1|2|4|6|7|8|10> [args]
 //! gcln inspect <problem> [--bounds]
-//! gcln serve [--port P] [--workers N] [--queue-cap N] [--journal PATH]
+//! gcln serve [--port P] [--workers N] [--queue-cap N] [--journal PATH] [--rate-limit RPS]
 //! ```
 //!
 //! Exit codes: `0` success, `1` usage/parse errors, `2` the checker
@@ -29,14 +29,14 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: gcln <run|suite|table1|table2|table3|table4|code2inv|fig|inspect|serve> [args]
   run <file.loop|name> [--fast] [--json] [--deadline S] [--steps N] [--max-degree D] [--range LO:HI ...]
-  suite <nla|linear>   [--fast] [--json] [--limit N] [--expect N] [name ...]
-  table2               [--fast] [--json] [--expect N] [name ...]
+  suite <nla|linear>   [--fast] [--json] [--limit N] [--expect N] [--workers N] [name ...]
+  table2               [--fast] [--json] [--expect N] [--workers N] [name ...]
   table3               [--all | name ...]
   table4               [--runs N]
-  code2inv             [--limit N] [--json] [--expect N]
+  code2inv             [--limit N] [--json] [--expect N] [--workers N]
   fig <1|2|4|6|7|8|10> [args]
   inspect <problem>    [--bounds]
-  serve                [--port P] [--workers N] [--queue-cap N] [--journal PATH]";
+  serve                [--port P] [--workers N] [--queue-cap N] [--journal PATH] [--rate-limit RPS]";
 
 /// Parsed common flags; non-flag arguments are collected in order.
 #[derive(Debug, Default)]
@@ -56,6 +56,7 @@ struct Flags {
     workers: Option<usize>,
     queue_cap: Option<usize>,
     journal: Option<String>,
+    rate_limit: Option<f64>,
     rest: Vec<String>,
 }
 
@@ -119,6 +120,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     Some(num("--queue-cap")?.parse().map_err(|_| "--queue-cap needs an integer")?)
             }
             "--journal" => f.journal = Some(num("--journal")?),
+            "--rate-limit" => {
+                let rps: f64 = num("--rate-limit")?
+                    .parse()
+                    .map_err(|_| "--rate-limit needs requests/sec")?;
+                if !rps.is_finite() || rps <= 0.0 {
+                    return Err("--rate-limit needs a positive requests/sec".into());
+                }
+                f.rate_limit = Some(rps);
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => f.rest.push(other.to_string()),
         }
@@ -147,6 +157,7 @@ impl Flags {
             ("--workers", self.workers.is_some()),
             ("--queue-cap", self.queue_cap.is_some()),
             ("--journal", self.journal.is_some()),
+            ("--rate-limit", self.rate_limit.is_some()),
         ];
         for (name, used) in set {
             if *used && !allowed.contains(name) {
@@ -172,13 +183,13 @@ pub fn main_with_args(args: &[String]) -> i32 {
     };
     let allowed: &[&str] = match cmd.as_str() {
         "run" => &["--fast", "--json", "--deadline", "--steps", "--max-degree", "--range"],
-        "suite" => &["--fast", "--json", "--limit", "--expect"],
-        "table2" => &["--fast", "--json", "--expect"],
+        "suite" => &["--fast", "--json", "--limit", "--expect", "--workers"],
+        "table2" => &["--fast", "--json", "--expect", "--workers"],
         "table3" => &["--all"],
         "table4" => &["--runs"],
-        "code2inv" => &["--limit", "--json", "--expect"],
+        "code2inv" => &["--limit", "--json", "--expect", "--workers"],
         "inspect" => &["--bounds"],
-        "serve" => &["--port", "--workers", "--queue-cap", "--journal"],
+        "serve" => &["--port", "--workers", "--queue-cap", "--journal", "--rate-limit"],
         _ => &[],
     };
     if let Err(e) = flags.check_allowed(cmd, allowed) {
@@ -198,6 +209,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
                 flags.json,
                 flags.limit.unwrap_or(usize::MAX),
                 filter,
+                flags.workers,
             ) {
                 Some(summary) => expect_code(&summary, flags.expect),
                 None => {
@@ -207,7 +219,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
             }
         }
         "table2" => {
-            let summary = tables::table2(&flags.rest, flags.fast, flags.json);
+            let summary = tables::table2(&flags.rest, flags.fast, flags.json, flags.workers);
             expect_code(&summary, flags.expect)
         }
         "table3" => {
@@ -223,7 +235,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
             0
         }
         "code2inv" => {
-            let summary = tables::code2inv(flags.limit.unwrap_or(usize::MAX), flags.json);
+            let summary = tables::code2inv(flags.limit.unwrap_or(usize::MAX), flags.json, flags.workers);
             expect_code(&summary, flags.expect)
         }
         "table1" => {
@@ -419,6 +431,7 @@ fn cmd_serve(flags: &Flags) -> i32 {
         workers: flags.workers.unwrap_or(2),
         queue_cap: flags.queue_cap.unwrap_or(16),
         journal: flags.journal.clone().map(std::path::PathBuf::from),
+        rate_limit: flags.rate_limit.map(gcln_serve::RateLimit::per_sec),
         ..gcln_serve::ServeConfig::default()
     };
     let journal_note = match &config.journal {

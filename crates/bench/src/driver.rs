@@ -1,18 +1,26 @@
 //! The shared suite driver: every multi-problem experiment (Table 2,
 //! the linear/Code2Inv suite, ad-hoc `gcln suite` runs) goes through
-//! [`run_suite`], which owns the rayon fan-out, completion-order
+//! [`run_suite`], which owns the scheduler fan-out, completion-order
 //! progress reporting, solved-criterion tallying, and JSON output —
 //! logic that used to be copy-pasted across the per-table binaries.
 //!
-//! Solve *results* are thread-count independent (each problem's seeds
-//! are fixed by its config); all timing figures vary with contention
-//! across `RAYON_NUM_THREADS` workers.
+//! Problems run through the `gcln-sched` stage-graph scheduler (one
+//! shared worker pool, stage-task granularity) rather than a
+//! rayon-per-problem fan-out: a worker finishing one problem's short
+//! check immediately helps another's training attempts, which is where
+//! the mixed-workload wall-clock win comes from (see EXPERIMENTS.md).
+//!
+//! Solve *results* are worker-count independent — the scheduler drives
+//! the same deterministic stage machine as a solo `Engine::run`; all
+//! timing figures vary with contention across workers.
 
 use crate::{secs, solve_status, SolveFailure};
-use gcln::pipeline::{infer_invariants, PipelineConfig};
+use gcln::pipeline::{InferenceOutcome, PipelineConfig};
 use gcln_engine::events::json_string;
+use gcln_engine::{Job, ProblemSpec};
 use gcln_problems::Problem;
-use rayon::prelude::*;
+use gcln_sched::{JobStats, SchedConfig, Scheduler, SubmitOptions};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One problem's outcome under the Table 2 "solved" criterion.
@@ -77,20 +85,22 @@ pub struct SuiteSummary {
     pub max_seconds: f64,
     /// Wall-clock time for the whole fan-out.
     pub wall_seconds: f64,
+    /// Scheduler worker-pool width the suite ran on.
+    pub workers: usize,
 }
 
 impl SuiteSummary {
     /// The summary as one JSON object (the `--json` trailer record).
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"type":"summary","suite":{},"solved":{},"attempted":{},"wall_seconds":{:.3},"avg_seconds":{:.3},"max_seconds":{:.3},"threads":{}}}"#,
+            r#"{{"type":"summary","suite":{},"solved":{},"attempted":{},"wall_seconds":{:.3},"avg_seconds":{:.3},"max_seconds":{:.3},"workers":{}}}"#,
             json_string(&self.suite),
             self.solved,
             self.attempted,
             self.wall_seconds,
             self.total_seconds / self.attempted.max(1) as f64,
             self.max_seconds,
-            rayon::current_num_threads(),
+            self.workers,
         )
     }
 
@@ -100,37 +110,78 @@ impl SuiteSummary {
     }
 }
 
-/// Runs every problem through the pipeline across rayon workers and
-/// applies the solved criterion. Progress lines stream to stderr in
-/// completion order (so long runs are watchable); the returned rows are
-/// in input order, so tabular output stays deterministic.
+/// Runs every problem through the stage-graph scheduler on a pool of
+/// `workers` (default: [`rayon::current_num_threads`]) and applies the
+/// solved criterion. Progress lines stream to stderr in completion
+/// order (so long runs are watchable); the returned rows are in input
+/// order, so tabular output stays deterministic.
 pub fn run_suite(suite: &str, problems: &[Problem], config: &PipelineConfig) -> SuiteSummary {
+    run_suite_with(suite, problems, config, None)
+}
+
+/// [`run_suite`] with an explicit scheduler worker count.
+pub fn run_suite_with(
+    suite: &str,
+    problems: &[Problem],
+    config: &PipelineConfig,
+    workers: Option<usize>,
+) -> SuiteSummary {
     let wall = Instant::now();
-    let rows: Vec<ProblemRow> = problems
-        .par_iter()
-        .map(|problem| {
-            let start = Instant::now();
-            let outcome = infer_invariants(problem, config);
-            let seconds = start.elapsed().as_secs_f64();
-            let failure = solve_status(problem, &outcome).err();
-            let row = ProblemRow {
-                name: problem.name.clone(),
-                solved: failure.is_none(),
-                valid: outcome.valid,
-                failure,
-                seconds,
-                cegis_rounds: outcome.cegis_rounds_used,
-                table_degree: problem.table_degree,
-                table_vars: problem.table_vars,
-            };
-            eprintln!(
-                "[done] {:<14} {:>8} {:>9}s",
-                row.name,
-                if row.solved { "solved" } else { "FAILED" },
-                secs(start.elapsed()),
-            );
-            row
+    let workers = workers.unwrap_or_else(rayon::current_num_threads).max(1);
+    let sched = Scheduler::new(SchedConfig::with_workers(workers));
+    // Rows land in submission slots from completion-order done hooks;
+    // reading them back by index restores input order.
+    let slots: Arc<Mutex<Vec<Option<ProblemRow>>>> =
+        Arc::new(Mutex::new(problems.iter().map(|_| None).collect()));
+    let tickets: Vec<_> = problems
+        .iter()
+        .enumerate()
+        .map(|(i, problem)| {
+            let job =
+                Job::new(ProblemSpec::from(problem.clone())).with_config(config.clone());
+            let problem = problem.clone();
+            let slots = slots.clone();
+            sched.submit_with(
+                job,
+                SubmitOptions::default(),
+                None,
+                Some(Box::new(move |outcome: &InferenceOutcome, stats: &JobStats| {
+                    let failure = solve_status(&problem, outcome).err();
+                    // `stats.busy` is the problem's exclusive task time
+                    // on the pool — unlike `outcome.runtime`, it does
+                    // not count other jobs' interleaved tasks, so the
+                    // per-problem figure stays comparable at any worker
+                    // count (CPU contention aside).
+                    let row = ProblemRow {
+                        name: problem.name.clone(),
+                        solved: failure.is_none(),
+                        valid: outcome.valid,
+                        failure,
+                        seconds: stats.busy.as_secs_f64(),
+                        cegis_rounds: outcome.cegis_rounds_used,
+                        table_degree: problem.table_degree,
+                        table_vars: problem.table_vars,
+                    };
+                    eprintln!(
+                        "[done] {:<14} {:>8} {:>9}s",
+                        row.name,
+                        if row.solved { "solved" } else { "FAILED" },
+                        secs(stats.busy),
+                    );
+                    slots.lock().unwrap()[i] = Some(row);
+                })),
+            )
         })
+        .collect();
+    for ticket in &tickets {
+        ticket.wait();
+    }
+    sched.shutdown();
+    let rows: Vec<ProblemRow> = slots
+        .lock()
+        .unwrap()
+        .iter_mut()
+        .map(|slot| slot.take().expect("every job ran its done hook"))
         .collect();
     let solved = rows.iter().filter(|r| r.solved).count();
     let total_seconds: f64 = rows.iter().map(|r| r.seconds).sum();
@@ -143,6 +194,7 @@ pub fn run_suite(suite: &str, problems: &[Problem], config: &PipelineConfig) -> 
         total_seconds,
         max_seconds,
         wall_seconds: wall.elapsed().as_secs_f64(),
+        workers,
     }
 }
 
@@ -172,6 +224,7 @@ mod tests {
             total_seconds: 3.0,
             max_seconds: 2.0,
             wall_seconds: 2.5,
+            workers: 4,
         }
     }
 

@@ -20,6 +20,7 @@
 pub mod cli;
 pub mod driver;
 pub mod figs;
+pub mod mixed;
 pub mod tables;
 
 use gcln::pipeline::InferenceOutcome;

@@ -2,7 +2,7 @@
 //! suite|inspect`), rebuilt on the shared [`crate::driver`]. The stdout
 //! formats of the former standalone binaries are preserved.
 
-use crate::driver::{run_suite, SuiteSummary};
+use crate::driver::{run_suite_with, SuiteSummary};
 use crate::{secs, solve_status};
 use gcln::pipeline::{infer_invariants, PipelineConfig};
 use gcln::GclnConfig;
@@ -35,7 +35,7 @@ fn fast_suite_config() -> PipelineConfig {
 
 /// **Table 2**: per-problem results on the 27-problem NLA nonlinear
 /// benchmark (problem, degree, #vars, G-CLN solved?, runtime).
-pub fn table2(filter: &[String], fast: bool, json: bool) -> SuiteSummary {
+pub fn table2(filter: &[String], fast: bool, json: bool, workers: Option<usize>) -> SuiteSummary {
     let config = if fast { fast_suite_config() } else { PipelineConfig::default() };
     let problems: Vec<Problem> = nla_suite()
         .into_iter()
@@ -48,7 +48,7 @@ pub fn table2(filter: &[String], fast: bool, json: bool) -> SuiteSummary {
             "problem", "deg", "vars", "G-CLN", "time(s)"
         );
     }
-    let summary = run_suite("nla", &problems, &config);
+    let summary = run_suite_with("nla", &problems, &config, workers);
     if json {
         emit_json(&summary);
         return summary;
@@ -65,12 +65,12 @@ pub fn table2(filter: &[String], fast: bool, json: bool) -> SuiteSummary {
         );
     }
     println!(
-        "solved {}/{}; avg per-problem {:.1}s (contended across {} thread(s)), wall {:.1}s \
-         (paper, sequential: 26/27, 53.3s; use RAYON_NUM_THREADS=1 for comparable per-problem times)",
+        "solved {}/{}; avg per-problem {:.1}s (contended across {} scheduler worker(s)), wall {:.1}s \
+         (paper, sequential: 26/27, 53.3s; use --workers 1 for comparable per-problem times)",
         summary.solved,
         summary.attempted,
         summary.total_seconds / summary.attempted.max(1) as f64,
-        rayon::current_num_threads(),
+        summary.workers,
         summary.wall_seconds,
     );
     summary
@@ -78,7 +78,7 @@ pub fn table2(filter: &[String], fast: bool, json: bool) -> SuiteSummary {
 
 /// **§6.4 linear benchmark**: the pipeline over the 124-problem linear
 /// (Code2Inv-shape) suite. The paper solves all 124 in under 30 s each.
-pub fn code2inv(limit: usize, json: bool) -> SuiteSummary {
+pub fn code2inv(limit: usize, json: bool, workers: Option<usize>) -> SuiteSummary {
     let config = PipelineConfig {
         gcln: GclnConfig { max_epochs: 1000, ..GclnConfig::default() },
         max_attempts: 2,
@@ -88,7 +88,7 @@ pub fn code2inv(limit: usize, json: bool) -> SuiteSummary {
     if !json {
         println!("Linear (Code2Inv-shape) suite: {} problems", problems.len());
     }
-    let summary = run_suite("linear", &problems, &config);
+    let summary = run_suite_with("linear", &problems, &config, workers);
     if json {
         emit_json(&summary);
         return summary;
@@ -100,13 +100,13 @@ pub fn code2inv(limit: usize, json: bool) -> SuiteSummary {
         }
     }
     println!(
-        "solved {}/{}; avg {:.1}s, max {:.1}s (contended across {} thread(s); \
-         paper, sequential: 124/124, < 30s each — use RAYON_NUM_THREADS=1 to compare)",
+        "solved {}/{}; avg {:.1}s, max {:.1}s (contended across {} scheduler worker(s); \
+         paper, sequential: 124/124, < 30s each — use --workers 1 to compare)",
         summary.solved,
         summary.attempted,
         summary.total_seconds / summary.attempted.max(1) as f64,
         summary.max_seconds,
-        rayon::current_num_threads(),
+        summary.workers,
     );
     summary
 }
@@ -119,6 +119,7 @@ pub fn suite(
     json: bool,
     limit: usize,
     filter: &[String],
+    workers: Option<usize>,
 ) -> Option<SuiteSummary> {
     let problems: Vec<Problem> = gcln_problems::suite_by_name(which)?
 
@@ -127,7 +128,7 @@ pub fn suite(
         .take(limit)
         .collect();
     let config = if fast { fast_suite_config() } else { PipelineConfig::default() };
-    let summary = run_suite(which, &problems, &config);
+    let summary = run_suite_with(which, &problems, &config, workers);
     if json {
         emit_json(&summary);
     } else {
@@ -141,11 +142,11 @@ pub fn suite(
             );
         }
         println!(
-            "solved {}/{}; wall {:.1}s across {} thread(s)",
+            "solved {}/{}; wall {:.1}s across {} scheduler worker(s)",
             summary.solved,
             summary.attempted,
             summary.wall_seconds,
-            rayon::current_num_threads(),
+            summary.workers,
         );
     }
     Some(summary)

@@ -56,6 +56,7 @@ pub mod kernel;
 pub mod model;
 pub mod run;
 pub mod spec;
+pub mod staged;
 pub mod terms;
 
 pub use cache::{CacheStats, TraceCache, TraceData};
@@ -65,4 +66,5 @@ pub use run::{
     CancelToken, Engine, InferenceOutcome, Job, LoopInference, PipelineConfig,
 };
 pub use spec::{ProblemSpec, SpecError};
+pub use staged::{CompletedTask, StagedJob, Step, Task, TaskKind};
 pub use terms::TermSpace;

@@ -15,15 +15,14 @@
 //! `gcln::pipeline::infer_invariants` had before it became a thin
 //! wrapper over this engine.
 
-use crate::bounds::learn_bounds;
 use crate::data::{collect_loop_states, Dataset};
-use crate::events::{Event, Stage, StopReason};
+use crate::events::{Event, StopReason};
 use crate::extract::{extract_formula, FitPoints};
 use crate::fractional::{fractional_points, FractionalConfig};
-use crate::model::{train_equality_gcln, GclnConfig, TrainedGcln};
+use crate::model::{train_equality_gcln, GclnConfig};
 use crate::spec::ProblemSpec;
-use crate::terms::{growth_filter, growth_filter_with_duplicates, TermSpace};
-use gcln_checker::{check, Candidate, CheckReport};
+use crate::terms::{growth_filter, TermSpace};
+use gcln_checker::CheckReport;
 use gcln_logic::{Formula, Pred};
 use gcln_numeric::{Poly, Rat};
 use gcln_problems::Problem;
@@ -260,6 +259,11 @@ impl Engine {
         self
     }
 
+    /// The shared trace cache, if one was attached.
+    pub(crate) fn trace_cache(&self) -> Option<&Arc<crate::cache::TraceCache>> {
+        self.trace_cache.as_ref()
+    }
+
     /// Runs a job to completion (or to its first stop condition),
     /// discarding streamed events (they remain available on the
     /// returned outcome).
@@ -268,544 +272,123 @@ impl Engine {
     }
 
     /// Runs a job, streaming each [`Event`] to `sink` as it is emitted.
+    ///
+    /// This is a thin driver over the stage-task machine
+    /// ([`crate::staged::StagedJob`]): each batch of ready tasks fans
+    /// out across rayon workers and the results are fed back in. The
+    /// scheduled path (`gcln-sched`) drives the *same* machine, which is
+    /// what makes its per-job outcomes and event streams bit-identical
+    /// to this solo path at any worker count.
     pub fn run_with_events(&self, job: &Job, sink: &mut dyn FnMut(&Event)) -> InferenceOutcome {
-        let problem = &job.spec.problem;
-        let config = &job.config;
-        let start = Instant::now();
-        let mut ctx = JobCtx {
-            deadline_at: job.deadline.map(|d| start + d),
-            budget: job.step_budget,
-            used: 0,
-            cancel: job.cancel.clone(),
-            stopped: None,
-            events: Vec::new(),
-            sink,
-        };
-        let num_loops = problem.program.num_loops;
-        let ext_names = problem.extended_names();
-        ctx.emit(Event::JobStarted { problem: problem.name.clone(), loops: num_loops });
-
-        // --- Trace stage: training points, widened check tuples, and
-        // widened-range validation points, collected once per job. The
-        // stop conditions are polled before the stage (an already-
-        // cancelled or zero-deadline job must not pay the program runs)
-        // and again between the two collection passes. ---
-        let extend = |s: &[i128]| problem.extend_state(s);
-        let mut points: Vec<Vec<Vec<f64>>> = vec![Vec::new(); num_loops];
-        let mut validation_points: Vec<Vec<Vec<f64>>> = vec![Vec::new(); num_loops];
-        let mut widened: Vec<Vec<i128>> = Vec::new();
-        if !ctx.check_stop() {
-            let trace_start = Instant::now();
-            ctx.emit(Event::StageStarted { round: 0, stage: Stage::Trace });
-            let cache_tag = self
-                .trace_cache
-                .as_ref()
-                .map(|c| (c, crate::cache::TraceCache::tag(problem, config)));
-            let cached = cache_tag.as_ref().and_then(|(c, t)| c.lookup(t));
-            if let Some(data) = cached {
-                points = data.points.clone();
-                validation_points = data.validation_points.clone();
-                widened = data.widened.clone();
-            } else {
-                points = (0..num_loops)
-                    .map(|l| {
-                        let pts =
-                            collect_loop_states(problem, l, config.max_inputs, config.trace_seeds);
-                        evenly_subsample(pts, config.max_samples_per_loop)
-                    })
-                    .collect();
-                widened = widened_input_tuples(problem, config);
-                if !ctx.check_stop() {
-                    // Loop-head states over the widened input range: every
-                    // learned conjunct must fit these before it reaches the
-                    // checker, which kills bounds overfitted to the training
-                    // range (our substitute for Z3's unbounded refutation).
-                    let widened_problem = widen_ranges(problem, config);
-                    validation_points = (0..num_loops)
-                        .map(|l| {
-                            let pts = collect_loop_states(
-                                &widened_problem,
-                                l,
-                                config.max_inputs,
-                                config.trace_seeds,
-                            );
-                            evenly_subsample(pts, config.max_samples_per_loop * 2)
-                        })
+        let mut staged = crate::staged::StagedJob::new(self, job);
+        loop {
+            let step = staged.advance();
+            for event in staged.take_events() {
+                sink(&event);
+            }
+            match step {
+                crate::staged::Step::Run(tasks) => {
+                    let done: Vec<crate::staged::CompletedTask> = tasks
+                        .into_par_iter()
+                        .map(crate::staged::Task::execute)
                         .collect();
-                }
-                // Only complete traces may be cached — a deadline that
-                // fired between the two collection passes leaves the
-                // validation set partial, and caching it would poison
-                // every later job with the same key.
-                if ctx.stopped.is_none() {
-                    if let Some((c, t)) = cache_tag {
-                        c.insert(
-                            t,
-                            crate::cache::TraceData {
-                                points: points.clone(),
-                                validation_points: validation_points.clone(),
-                                widened: widened.clone(),
-                            },
-                        );
+                    for d in done {
+                        staged.complete(d);
                     }
                 }
+                crate::staged::Step::Done(outcome) => return *outcome,
             }
-            ctx.emit(Event::StageFinished {
-                round: 0,
-                stage: Stage::Trace,
-                ms: trace_start.elapsed().as_secs_f64() * 1e3,
-            });
-        }
-
-        let mut loops: Vec<LoopInference> = (0..num_loops)
-            .map(|l| LoopInference {
-                loop_id: l,
-                formula: Formula::True,
-                attempts: 0,
-                used_fractional: false,
-            })
-            .collect();
-        let mut needs_learning: Vec<bool> =
-            (0..num_loops).map(|l| !points[l].is_empty()).collect();
-        let mut report = CheckReport::default();
-        // An empty default report is vacuously "valid"; only a report
-        // the checker actually produced may count.
-        let mut checked = false;
-        let mut rounds_used = 0;
-        // Bound directions refuted in a previous round are banned:
-        // re-learning them with a shifted bias would loop forever on
-        // non-invariant directions.
-        let mut banned: Vec<Vec<Poly>> = vec![Vec::new(); num_loops];
-
-        for round in 0..=config.cegis_rounds {
-            if ctx.check_stop() {
-                break;
-            }
-
-            // --- Train stage: per-loop equality-model fan-out. ---
-            let stage_start = Instant::now();
-            ctx.emit(Event::StageStarted { round, stage: Stage::Train });
-            let mut trained: Vec<Option<TrainedLoop>> = (0..num_loops).map(|_| None).collect();
-            for l in 0..num_loops {
-                if needs_learning[l] {
-                    trained[l] =
-                        Some(train_loop(problem, l, &ext_names, &points[l], config, round, &mut ctx));
-                }
-            }
-            ctx.emit(Event::StageFinished {
-                round,
-                stage: Stage::Train,
-                ms: stage_start.elapsed().as_secs_f64() * 1e3,
-            });
-
-            // --- Extract stage: per-attempt extraction, kernel
-            // completion, fractional fallback, bounds, validation
-            // pruning. ---
-            let stage_start = Instant::now();
-            ctx.emit(Event::StageStarted { round, stage: Stage::Extract });
-            for l in 0..num_loops {
-                let Some(t) = trained[l].take() else { continue };
-                let mut inference = extract_loop(
-                    problem,
-                    l,
-                    &ext_names,
-                    &points[l],
-                    config,
-                    round,
-                    &banned[l],
-                    t,
-                    &mut ctx,
-                );
-                let (validated, dropped) =
-                    prune_falsified_conjuncts(&inference.formula, &validation_points[l]);
-                if std::env::var("GCLN_DEBUG").is_ok() {
-                    eprintln!(
-                        "[round {round}] loop {l}: learned {} conjuncts, validation dropped {}",
-                        inference.formula.conjuncts().len(),
-                        dropped.len()
-                    );
-                    for d in &dropped {
-                        eprintln!("  dropped: {}", d.display(&ext_names));
-                    }
-                }
-                inference.formula = validated;
-                ctx.emit(Event::InvariantLearned {
-                    round,
-                    loop_id: l,
-                    conjuncts: inference.formula.conjuncts().len(),
-                    formula: inference.formula.display(&ext_names).to_string(),
-                });
-                loops[l] = inference;
-                needs_learning[l] = false;
-            }
-            ctx.emit(Event::StageFinished {
-                round,
-                stage: Stage::Extract,
-                ms: stage_start.elapsed().as_secs_f64() * 1e3,
-            });
-            if ctx.check_stop() {
-                break;
-            }
-
-            // --- Check stage. The budget step is taken before the
-            // stage events so an exhausted budget leaves no phantom
-            // check stage in the stream — it stops with the invariants
-            // learned so far. ---
-            if ctx.take_steps(1) == 0 {
-                break;
-            }
-            let stage_start = Instant::now();
-            ctx.emit(Event::StageStarted { round, stage: Stage::Check });
-            let candidates: Vec<Candidate> = loops
-                .iter()
-                .map(|li| Candidate { loop_id: li.loop_id, formula: li.formula.clone() })
-                .collect();
-            report = check(&problem.program, &widened, &extend, &candidates, &config.checker);
-            checked = true;
-            for cex in &report.counterexamples {
-                ctx.emit(Event::Counterexample {
-                    round,
-                    loop_id: cex.loop_id,
-                    kind: cex.kind,
-                    state: cex.state.clone(),
-                    reachable: cex.reachable,
-                });
-            }
-            ctx.emit(Event::StageFinished {
-                round,
-                stage: Stage::Check,
-                ms: stage_start.elapsed().as_secs_f64() * 1e3,
-            });
-            if report.is_valid() {
-                break;
-            }
-            if round == config.cegis_rounds {
-                break;
-            }
-            rounds_used = round + 1;
-            if ctx.check_stop() {
-                break;
-            }
-
-            // --- Cegis stage: counterexample feedback — add reachable
-            // counterexample states to the training data, prune
-            // conjuncts they falsify, and retrain the affected loops. ---
-            let stage_start = Instant::now();
-            ctx.emit(Event::StageStarted { round, stage: Stage::Cegis });
-            for cex in &report.counterexamples {
-                let ext_state: Vec<f64> =
-                    extend(&cex.state).iter().map(|&v| v as f64).collect();
-                let l = cex.loop_id;
-                if cex.reachable && !points[l].contains(&ext_state) {
-                    points[l].push(ext_state);
-                }
-                needs_learning[l] = true;
-            }
-            for li in &mut loops {
-                let (pruned, dropped) =
-                    prune_falsified_conjuncts(&li.formula, &points[li.loop_id]);
-                for atom in dropped {
-                    let dir = bound_direction(&atom.poly);
-                    if !banned[li.loop_id].contains(&dir) {
-                        banned[li.loop_id].push(dir);
-                    }
-                }
-                li.formula = pruned;
-            }
-            ctx.emit(Event::StageFinished {
-                round,
-                stage: Stage::Cegis,
-                ms: stage_start.elapsed().as_secs_f64() * 1e3,
-            });
-        }
-
-        let valid = checked && report.is_valid();
-        ctx.emit(Event::JobFinished {
-            valid,
-            cegis_rounds: rounds_used,
-            ms: start.elapsed().as_secs_f64() * 1e3,
-        });
-        InferenceOutcome {
-            loops,
-            valid,
-            cegis_rounds_used: rounds_used,
-            runtime: start.elapsed(),
-            report,
-            stopped: ctx.stopped,
-            events: ctx.events,
         }
     }
 }
 
-/// Mutable per-job state: limits, stop flag, and the event log/sink.
-struct JobCtx<'a> {
-    deadline_at: Option<Instant>,
-    budget: Option<u64>,
-    used: u64,
-    cancel: CancelToken,
-    stopped: Option<StopReason>,
-    events: Vec<Event>,
-    sink: &'a mut dyn FnMut(&Event),
+/// Everything the Trace stage produces, in one bundle (the unit the
+/// trace cache stores and the Trace task returns).
+pub(crate) struct TraceCollection {
+    /// Per-loop training points over the extended variable space.
+    pub(crate) points: Vec<Vec<Vec<f64>>>,
+    /// Per-loop validation points over the widened input range.
+    pub(crate) validation_points: Vec<Vec<Vec<f64>>>,
+    /// Widened input tuples for the checker.
+    pub(crate) widened: Vec<Vec<i128>>,
+    /// Stop condition observed between the two collection passes, if
+    /// any (the validation set is partial in that case).
+    pub(crate) stopped: Option<StopReason>,
 }
 
-impl JobCtx<'_> {
-    fn emit(&mut self, event: Event) {
-        (self.sink)(&event);
-        self.events.push(event);
-    }
-
-    fn flag(&mut self, reason: StopReason) {
-        if self.stopped.is_none() {
-            self.stopped = Some(reason);
-            self.emit(Event::JobStopped { reason });
-        }
-    }
-
-    /// Polls the stop conditions; used between stages. Returns whether
-    /// the job should stop.
-    fn check_stop(&mut self) -> bool {
-        if self.stopped.is_some() {
-            return true;
-        }
-        if self.cancel.is_cancelled() {
-            self.flag(StopReason::Cancelled);
-        } else if self.deadline_at.is_some_and(|at| Instant::now() >= at) {
-            self.flag(StopReason::DeadlineExceeded);
-        } else if self.budget.is_some_and(|b| self.used >= b) {
-            self.flag(StopReason::BudgetExhausted);
-        }
-        self.stopped.is_some()
-    }
-
-    /// Pre-charges `want` steps against the budget and returns how many
-    /// were granted. Granting fewer than requested flags
-    /// [`StopReason::BudgetExhausted`]. Pre-charging (rather than
-    /// counting inside the parallel fan-out) keeps the set of attempts
-    /// that run a deterministic function of the budget.
-    fn take_steps(&mut self, want: u64) -> u64 {
-        let granted = match self.budget {
-            None => want,
-            Some(b) => want.min(b.saturating_sub(self.used)),
-        };
-        self.used += granted;
-        if granted < want {
-            self.flag(StopReason::BudgetExhausted);
-        }
-        granted
-    }
-}
-
-/// Products of the Train stage for one loop, consumed by Extract.
-struct TrainedLoop {
-    /// Full (unfiltered) term space; needed to reconstruct equalities
-    /// from duplicate columns.
-    space_all: TermSpace,
-    /// `(dropped, kept)` duplicate column pairs from the growth filter.
-    duplicates: Vec<(usize, usize)>,
-    /// Growth-filtered term space the models were trained over.
-    space: TermSpace,
-    /// The training dataset (kept for bound learning).
-    ds: Dataset,
-    /// One model per *granted* attempt; `None` when a deadline/cancel
-    /// poll skipped the attempt.
-    models: Vec<Option<TrainedGcln>>,
-    /// Attempts scheduled by the config (may exceed `models.len()` when
-    /// the step budget trimmed the grant).
-    scheduled: usize,
-    /// Attempts actually consumed (for [`LoopInference::attempts`]).
-    attempts: usize,
-}
-
-/// Train stage for one loop: term-space setup plus the equality-model
-/// attempt fan-out. Attempts accumulate the *union* of validated
-/// conjuncts downstream: different dropout masks surface different
-/// null-space directions (§5.1.3).
-///
-/// Each attempt is independent — its seed is a pure function of
-/// `(master seed, attempt, loop, round)` — so the restarts fan out
-/// across rayon workers. Models are collected in attempt order, which
-/// keeps the outcome bit-identical for every `RAYON_NUM_THREADS`.
-fn train_loop(
+/// The Trace stage: training points, widened check tuples, and
+/// widened-range validation points. Polls cancel/deadline between the
+/// two collection passes (budget cannot newly trip here: no steps are
+/// charged before training). Only complete traces are cached — a stop
+/// that fires between the passes leaves the validation set partial, and
+/// caching it would poison every later job with the same key.
+pub(crate) fn collect_trace(
     problem: &Problem,
-    loop_id: usize,
-    ext_names: &[String],
-    points: &[Vec<f64>],
     config: &PipelineConfig,
-    round: usize,
-    ctx: &mut JobCtx<'_>,
-) -> TrainedLoop {
-    let space_all = TermSpace::enumerate(ext_names.to_vec(), problem.max_degree);
-    let filtered = growth_filter_with_duplicates(&space_all, points, config.magnitude_cap);
-    let space = space_all.select(&filtered.keep);
-    let ds = Dataset::from_points(points.to_vec(), &space, config.normalize);
-    if ds.is_empty() {
-        return TrainedLoop {
-            space_all,
-            duplicates: filtered.duplicates,
-            space,
-            ds,
-            models: Vec::new(),
-            scheduled: 0,
-            attempts: 1,
+    cache: Option<&crate::cache::TraceCache>,
+    cancel: &CancelToken,
+    deadline_at: Option<Instant>,
+) -> TraceCollection {
+    let num_loops = problem.program.num_loops;
+    let cache_tag = cache.map(|c| (c, crate::cache::TraceCache::tag(problem, config)));
+    if let Some(data) = cache_tag.as_ref().and_then(|(c, t)| c.lookup(t)) {
+        return TraceCollection {
+            points: data.points.clone(),
+            validation_points: data.validation_points.clone(),
+            widened: data.widened.clone(),
+            stopped: None,
         };
     }
-    let want = config.max_attempts.max(1);
-    let granted = ctx.take_steps(want as u64) as usize;
-    let columns = ds.columns();
-    let cancel = ctx.cancel.clone();
-    let deadline_at = ctx.deadline_at;
-    let models: Vec<Option<TrainedGcln>> = (0..granted)
-        .into_par_iter()
-        .map(|attempt| {
-            // Cooperative stop between attempts: already-running
-            // attempts finish, pending ones are skipped.
-            if cancel.is_cancelled() || deadline_at.is_some_and(|at| Instant::now() >= at) {
-                return None;
-            }
-            let dropout = if config.enable_dropout {
-                (0.3 - 0.1 * attempt as f64).max(0.0)
-            } else {
-                0.0
-            };
-            let gcln_cfg = GclnConfig {
-                dropout_rate: dropout,
-                weight_reg: config.enable_weight_reg,
-                seed: config
-                    .seed
-                    .wrapping_add((attempt as u64) * 7919)
-                    .wrapping_add((loop_id as u64) * 104_729)
-                    .wrapping_add((round as u64) * 15_485_863),
-                ..config.gcln.clone()
-            };
-            Some(train_equality_gcln(&columns, &gcln_cfg))
+    let points: Vec<Vec<Vec<f64>>> = (0..num_loops)
+        .map(|l| {
+            let pts = collect_loop_states(problem, l, config.max_inputs, config.trace_seeds);
+            evenly_subsample(pts, config.max_samples_per_loop)
         })
         .collect();
-    // "Consumed" means a model actually trained: attempts the
-    // deadline/cancel poll skipped inside the fan-out do not count.
-    let attempts = models.iter().filter(|m| m.is_some()).count();
-    TrainedLoop { space_all, duplicates: filtered.duplicates, space, ds, models, scheduled: want, attempts }
-}
-
-/// Extract stage for one loop: per-attempt formula extraction (merged in
-/// attempt order), duplicate-column equalities, exact kernel completion,
-/// the fractional-sampling fallback, and PBQU bounds.
-#[allow(clippy::too_many_arguments)]
-fn extract_loop(
-    problem: &Problem,
-    loop_id: usize,
-    ext_names: &[String],
-    points: &[Vec<f64>],
-    config: &PipelineConfig,
-    round: usize,
-    banned: &[Poly],
-    t: TrainedLoop,
-    ctx: &mut JobCtx<'_>,
-) -> LoopInference {
-    // Duplicate columns are equality invariants in their own right
-    // (e.g. `A == r` when the two columns coincide on every sample).
-    let mut best_eq: Vec<Formula> = Vec::new();
-    for &(dropped, kept) in &t.duplicates {
-        let poly = (&Poly::from_monomial(t.space_all.monomials[dropped].clone(), Rat::ONE)
-            - &Poly::from_monomial(t.space_all.monomials[kept].clone(), Rat::ONE))
-            .normalize_content();
-        if !poly.is_zero() {
-            let f = Formula::atom(poly, Pred::Eq);
-            if !best_eq.contains(&f) {
-                best_eq.push(f);
-            }
-        }
-    }
-
-    // Per-attempt extraction fans out like training did and merges in
-    // attempt order — determinism is preserved. Attempts the step
-    // budget trimmed (`models.len()..scheduled`) still emit a skipped
-    // AttemptResult so event consumers can tell "scheduled but unrun"
-    // from "never scheduled".
-    if !t.models.is_empty() {
-        let formulas: Vec<Option<Formula>> = (0..t.models.len())
-            .into_par_iter()
-            .map(|i| {
-                t.models[i]
-                    .as_ref()
-                    .map(|model| extract_formula(model, &t.space, points, &config.extract))
+    let widened = widened_input_tuples(problem, config);
+    let stopped = if cancel.is_cancelled() {
+        Some(StopReason::Cancelled)
+    } else if deadline_at.is_some_and(|at| Instant::now() >= at) {
+        Some(StopReason::DeadlineExceeded)
+    } else {
+        None
+    };
+    let mut validation_points: Vec<Vec<Vec<f64>>> = vec![Vec::new(); num_loops];
+    if stopped.is_none() {
+        // Loop-head states over the widened input range: every learned
+        // conjunct must fit these before it reaches the checker, which
+        // kills bounds overfitted to the training range (our substitute
+        // for Z3's unbounded refutation).
+        let widened_problem = widen_ranges(problem, config);
+        validation_points = (0..num_loops)
+            .map(|l| {
+                let pts = collect_loop_states(
+                    &widened_problem,
+                    l,
+                    config.max_inputs,
+                    config.trace_seeds,
+                );
+                evenly_subsample(pts, config.max_samples_per_loop * 2)
             })
             .collect();
-        for (attempt, formula) in formulas.iter().enumerate() {
-            ctx.emit(Event::AttemptResult {
-                round,
-                loop_id,
-                attempt,
-                conjuncts: formula.as_ref().map_or(0, |f| f.conjuncts().len()),
-                skipped: formula.is_none(),
-            });
-            if let Some(formula) = formula {
-                for conjunct in formula.conjuncts() {
-                    if !best_eq.contains(conjunct) {
-                        best_eq.push(conjunct.clone());
-                    }
-                }
-            }
+        if let Some((c, t)) = cache_tag {
+            c.insert(
+                t,
+                crate::cache::TraceData {
+                    points: points.clone(),
+                    validation_points: validation_points.clone(),
+                    widened: widened.clone(),
+                },
+            );
         }
     }
-    for attempt in t.models.len()..t.scheduled {
-        ctx.emit(Event::AttemptResult { round, loop_id, attempt, conjuncts: 0, skipped: true });
-    }
-
-    // --- exact kernel completion of the equality conjunction ---
-    if config.kernel_completion {
-        for atom in crate::kernel::kernel_equalities(&t.space, points, 250, 1_000_000) {
-            let f = Formula::Atom(atom);
-            if !best_eq.contains(&f) {
-                best_eq.push(f);
-            }
-        }
-    }
-
-    // --- fractional sampling fallback (§4.3) ---
-    let mut used_fractional = false;
-    if config.enable_fractional && (best_eq.is_empty() || problem.max_degree >= 5) {
-        for interval in [config.fractional.interval, config.fractional.interval / 2.0] {
-            // Each fallback run is a full equality-training pass, so it
-            // is charged against the step budget like a restart attempt.
-            if ctx.take_steps(1) == 0 {
-                break;
-            }
-            let frac_cfg = FractionalConfig { interval, ..config.fractional.clone() };
-            if let Some(extra) =
-                learn_fractional(problem, loop_id, ext_names, points, config, &frac_cfg)
-            {
-                for atom in extra {
-                    let f = Formula::Atom(atom);
-                    if !best_eq.contains(&f) {
-                        best_eq.push(f);
-                        used_fractional = true;
-                    }
-                }
-            }
-            if used_fractional {
-                break;
-            }
-        }
-    }
-
-    // --- inequality bounds (§5.2.2) ---
-    let mut parts = best_eq;
-    if config.learn_inequalities && !t.ds.is_empty() {
-        let bound_atoms = learn_bounds(&t.space, points, &t.ds.columns(), &config.bounds);
-        for atom in bound_atoms {
-            if !banned.contains(&bound_direction(&atom.poly)) {
-                parts.push(Formula::Atom(atom));
-            }
-        }
-    }
-    let formula = absorb(&Formula::and(parts).simplify());
-    LoopInference { loop_id, formula, attempts: t.attempts, used_fractional }
+    TraceCollection { points, validation_points, widened, stopped }
 }
 
 /// Absorption: `A ∧ (A ∨ B) ≡ A` — drops disjunctive conjuncts that
 /// contain another conjunct as a disjunct (they carry no information and
 /// clutter the output).
-fn absorb(formula: &Formula) -> Formula {
+pub(crate) fn absorb(formula: &Formula) -> Formula {
     let conjuncts: Vec<Formula> = formula.conjuncts().into_iter().cloned().collect();
     let kept: Vec<Formula> = conjuncts
         .iter()
@@ -822,7 +405,7 @@ fn absorb(formula: &Formula) -> Formula {
 /// `V ∪ V0`, pin `V0` to the true initial values, validate on the integer
 /// data, and return the surviving equality atoms (over the extended
 /// space).
-fn learn_fractional(
+pub(crate) fn learn_fractional(
     problem: &Problem,
     loop_id: usize,
     ext_names: &[String],
@@ -895,7 +478,7 @@ fn evenly_subsample<T>(items: Vec<T>, max: usize) -> Vec<T> {
 /// Removes conjuncts falsified by any training point (used after CEGIS
 /// adds counterexample states). Returns the surviving formula and the
 /// dropped atoms.
-fn prune_falsified_conjuncts(
+pub(crate) fn prune_falsified_conjuncts(
     formula: &Formula,
     points: &[Vec<f64>],
 ) -> (Formula, Vec<gcln_logic::Atom>) {
@@ -914,7 +497,7 @@ fn prune_falsified_conjuncts(
 /// The constant-free, content-normalized direction of a bound polynomial
 /// (what gets banned when a bound is refuted — any bias of the same
 /// direction would fail again eventually).
-fn bound_direction(poly: &Poly) -> Poly {
+pub(crate) fn bound_direction(poly: &Poly) -> Poly {
     let arity = poly.arity();
     let constant = poly.coeff(&gcln_numeric::Monomial::one(arity));
     let shifted = poly - &Poly::constant(constant, arity);
@@ -942,6 +525,7 @@ fn widened_input_tuples(problem: &Problem, config: &PipelineConfig) -> Vec<Vec<i
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::Stage;
     use gcln_problems::nla::nla_problem;
 
     fn quick_job(name: &str) -> Job {

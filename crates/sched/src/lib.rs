@@ -1,0 +1,682 @@
+//! # gcln-sched — the stage-graph scheduler
+//!
+//! One shared worker pool interleaving many inference jobs at *stage
+//! task* granularity: while one job trains, its neighbors' trace,
+//! check, and extraction tasks fill the idle workers. This is the
+//! engine-level parallel suite scheduling the ROADMAP called for —
+//! whole-job fan-out (one worker pinned per problem) leaves workers
+//! idle whenever the workload mixes long trainings with short bursty
+//! stages.
+//!
+//! ## Architecture
+//!
+//! Each submitted [`Job`] is unfolded into a
+//! [`StagedJob`](gcln_engine::StagedJob) — the engine's stage-graph
+//! state machine. The scheduler keeps one ready queue per job plus a
+//! priority-ordered ring of jobs with ready tasks:
+//!
+//! ```text
+//!   submit ─▶ StagedJob ─ advance() ─▶ [task, task, …] ─▶ per-job queue
+//!                 ▲                                            │
+//!                 │           ring: prio -1 ▶ (job A, job C)   │ pop (round-robin
+//!                 │                 prio  0 ▶ (job B)          ▼  across jobs)
+//!              complete() ◀────────── workers (shared pool) ───┘
+//! ```
+//!
+//! Workers pop one task at a time, highest priority first and
+//! round-robin across jobs within a priority, so no job monopolizes the
+//! pool and short jobs flow past long ones. When a job's last
+//! outstanding task completes, the completing worker advances the state
+//! machine, which emits events and produces the next batch.
+//!
+//! ## Determinism
+//!
+//! Per-job results and event streams are **bit-identical to a solo
+//! [`Engine::run`]** at any worker count, any priority assignment, and
+//! any interleaving: tasks are pure, merges key on `(loop, attempt)`,
+//! and each job's events are emitted serially by its own state machine.
+//! Events are delivered as [`JobEvent`]s carrying a per-job sequence
+//! number, so multiplexed streams reassemble deterministically.
+//!
+//! Cancel/deadline/budget checks stay cooperative at task boundaries,
+//! exactly like the solo engine: a cancelled job drains its in-flight
+//! tasks and completes with a partial outcome; other jobs are
+//! unaffected.
+
+pub mod metrics;
+
+use gcln_engine::staged::{Step, Task};
+use gcln_engine::{CancelToken, Engine, Event, InferenceOutcome, Job, StagedJob};
+use metrics::{Metrics, MetricsSnapshot};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct SchedConfig {
+    /// Worker threads in the shared pool.
+    pub workers: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig { workers: rayon::current_num_threads() }
+    }
+}
+
+impl SchedConfig {
+    /// A config with the given pool width (min 1).
+    pub fn with_workers(workers: usize) -> SchedConfig {
+        SchedConfig { workers: workers.max(1) }
+    }
+}
+
+/// Scheduling granularity for one submission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Granularity {
+    /// Stage-task granularity (the point of this crate).
+    #[default]
+    Stage,
+    /// The whole job as one task on one worker — the legacy
+    /// rayon-per-problem behavior, kept as the benchmark baseline and
+    /// for apples-to-apples comparisons.
+    WholeJob,
+}
+
+/// Per-submission options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOptions {
+    /// Higher runs first; jobs of equal priority round-robin.
+    pub priority: i32,
+    /// Stage-task (default) or whole-job scheduling.
+    pub granularity: Granularity,
+}
+
+impl SubmitOptions {
+    /// Options with the given priority.
+    pub fn priority(priority: i32) -> SubmitOptions {
+        SubmitOptions { priority, ..SubmitOptions::default() }
+    }
+}
+
+/// One engine event, enveloped with the job id and a per-job sequence
+/// number (0-based, dense) so interleaved streams reassemble.
+#[derive(Clone, Debug)]
+pub struct JobEvent {
+    /// Scheduler-assigned job id.
+    pub job: u64,
+    /// Per-job emission index.
+    pub seq: u64,
+    /// The engine event.
+    pub event: Event,
+}
+
+impl JobEvent {
+    /// One JSON line: `{"job":…,"seq":…,"event":{…}}`.
+    pub fn to_json(&self) -> String {
+        format!(r#"{{"job":{},"seq":{},"event":{}}}"#, self.job, self.seq, self.event.to_json())
+    }
+}
+
+/// Callback receiving a job's events in order (seq is strictly
+/// increasing per job). Invoked from worker threads.
+pub type EventSink = Box<dyn Fn(&JobEvent) + Send + Sync>;
+/// Callback invoked exactly once when a job's outcome is ready, from
+/// the worker thread that finished it (completion order, not submit
+/// order — useful for progress reporting).
+pub type DoneHook = Box<dyn FnOnce(&InferenceOutcome, &JobStats) + Send>;
+
+/// Per-job scheduler accounting, delivered with the done hook.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JobStats {
+    /// Total worker time spent executing this job's tasks — the job's
+    /// *exclusive* compute cost, excluding ready-queue wait and other
+    /// jobs' interleaved tasks (unlike `InferenceOutcome::runtime`,
+    /// which spans first dispatch to completion).
+    pub busy: std::time::Duration,
+    /// Tasks executed for this job (1 for whole-job granularity).
+    pub tasks: u64,
+}
+
+/// Work a worker can pick up for a job.
+enum WorkItem {
+    /// Run the job's initial `advance` (deferred from `submit` so
+    /// admission stays cheap and ordering respects priority).
+    Start(Instant),
+    /// Execute one stage task.
+    Stage(Task, Instant),
+    /// Run the whole job inline ([`Granularity::WholeJob`]).
+    Whole(Instant),
+}
+
+#[derive(Default)]
+struct JobQueue {
+    items: VecDeque<WorkItem>,
+    in_ring: bool,
+}
+
+struct JobInner {
+    /// The job as submitted; consumed when a worker first picks it up
+    /// (deadlines are measured from that pickup, not from admission —
+    /// queue wait must not eat a job's time budget).
+    pending: Option<Job>,
+    staged: Option<StagedJob>,
+    outstanding: usize,
+    stats: JobStats,
+    seq: u64,
+    sink: Option<EventSink>,
+    on_done: Option<DoneHook>,
+    outcome: Option<Arc<InferenceOutcome>>,
+}
+
+struct JobRun {
+    id: u64,
+    priority: i32,
+    cancel: CancelToken,
+    inner: Mutex<JobInner>,
+    done_cv: Condvar,
+}
+
+struct PoolState {
+    /// Jobs with ready work, ordered by `-priority` (BTreeMap ascending
+    /// ⇒ highest priority first); round-robin within a key.
+    ring: BTreeMap<i64, VecDeque<u64>>,
+    queues: HashMap<u64, JobQueue>,
+    jobs: HashMap<u64, Arc<JobRun>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    engine: Engine,
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    metrics: Metrics,
+    next_id: AtomicU64,
+}
+
+/// The stage-graph scheduler: a fixed worker pool plus the ready-queue
+/// machinery. See the module docs.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A handle to one submitted job.
+pub struct JobTicket {
+    job: Arc<JobRun>,
+}
+
+impl JobTicket {
+    /// Scheduler-assigned job id (matches [`JobEvent::job`]).
+    pub fn id(&self) -> u64 {
+        self.job.id
+    }
+
+    /// The priority the job was admitted with.
+    pub fn priority(&self) -> i32 {
+        self.job.priority
+    }
+
+    /// Trips the job's cancel token; the engine stops cooperatively at
+    /// the next task boundary and the outcome arrives as a partial
+    /// result (`stopped: cancelled`).
+    pub fn cancel(&self) {
+        self.job.cancel.cancel();
+    }
+
+    /// The outcome, if the job has finished.
+    pub fn try_outcome(&self) -> Option<Arc<InferenceOutcome>> {
+        self.job.inner.lock().unwrap().outcome.clone()
+    }
+
+    /// Blocks until the job finishes and returns its outcome.
+    pub fn wait(&self) -> Arc<InferenceOutcome> {
+        let mut inner = self.job.inner.lock().unwrap();
+        loop {
+            if let Some(outcome) = &inner.outcome {
+                return outcome.clone();
+            }
+            inner = self.job.done_cv.wait(inner).unwrap();
+        }
+    }
+}
+
+impl Scheduler {
+    /// A scheduler with a fresh (cache-less) engine.
+    pub fn new(config: SchedConfig) -> Scheduler {
+        Scheduler::with_engine(config, Engine::new())
+    }
+
+    /// A scheduler driving jobs through the given engine (share an
+    /// engine to share its trace cache across jobs).
+    pub fn with_engine(config: SchedConfig, engine: Engine) -> Scheduler {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            engine,
+            state: Mutex::new(PoolState {
+                ring: BTreeMap::new(),
+                queues: HashMap::new(),
+                jobs: HashMap::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            metrics: Metrics::new(workers),
+            next_id: AtomicU64::new(1),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("gcln-sched-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Scheduler { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Submits a job with default options and no callbacks.
+    pub fn submit(&self, job: Job) -> JobTicket {
+        self.submit_with(job, SubmitOptions::default(), None, None)
+    }
+
+    /// Submits a job. `sink` receives the job's [`JobEvent`]s in order;
+    /// `on_done` fires once when the outcome is ready. Jobs submitted
+    /// after [`Scheduler::shutdown`] began are still executed (shutdown
+    /// drains everything admitted); gate admission externally if you
+    /// need to refuse work.
+    pub fn submit_with(
+        &self,
+        job: Job,
+        opts: SubmitOptions,
+        sink: Option<EventSink>,
+        on_done: Option<DoneHook>,
+    ) -> JobTicket {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancel = job.cancel_token();
+        let item = match opts.granularity {
+            Granularity::Stage => WorkItem::Start(Instant::now()),
+            Granularity::WholeJob => WorkItem::Whole(Instant::now()),
+        };
+        let run = Arc::new(JobRun {
+            id,
+            priority: opts.priority,
+            cancel,
+            inner: Mutex::new(JobInner {
+                pending: Some(job),
+                staged: None,
+                outstanding: 0,
+                stats: JobStats::default(),
+                seq: 0,
+                sink,
+                on_done,
+                outcome: None,
+            }),
+            done_cv: Condvar::new(),
+        });
+        self.shared.metrics.job_submitted();
+        let mut st = self.shared.state.lock().unwrap();
+        st.jobs.insert(id, run.clone());
+        enqueue(&self.shared, &mut st, id, run.priority, vec![item]);
+        drop(st);
+        JobTicket { job: run }
+    }
+
+    /// Jobs admitted but not yet finished.
+    pub fn active_jobs(&self) -> usize {
+        self.shared.state.lock().unwrap().jobs.len()
+    }
+
+    /// A point-in-time copy of the scheduler's metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Drains every admitted job, then stops and joins the workers.
+    /// Idempotent. Cancel jobs first (e.g. via their tickets) for a
+    /// fast shutdown.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        for w in self.workers.lock().unwrap().drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Adds work items for a job and registers the job in the ready ring.
+/// Caller holds the state lock.
+fn enqueue(
+    shared: &Shared,
+    st: &mut PoolState,
+    job_id: u64,
+    priority: i32,
+    items: Vec<WorkItem>,
+) {
+    let q = st.queues.entry(job_id).or_default();
+    for item in items {
+        q.items.push_back(item);
+    }
+    if !q.in_ring && !q.items.is_empty() {
+        q.in_ring = true;
+        st.ring.entry(-i64::from(priority)).or_default().push_back(job_id);
+    }
+    shared.cv.notify_all();
+}
+
+/// Pops the next ready task: highest priority first, round-robin across
+/// jobs within a priority (a job with more ready tasks goes to the back
+/// of its priority's ring after yielding one task).
+fn pop_ready(st: &mut PoolState) -> Option<(Arc<JobRun>, WorkItem)> {
+    let (&key, _) = st.ring.iter().find(|(_, ring)| !ring.is_empty())?;
+    let ring = st.ring.get_mut(&key).expect("ring key");
+    let job_id = ring.pop_front().expect("nonempty ring");
+    if ring.is_empty() {
+        st.ring.remove(&key);
+    }
+    let q = st.queues.get_mut(&job_id).expect("queued job");
+    let item = q.items.pop_front().expect("job in ring has work");
+    if q.items.is_empty() {
+        q.in_ring = false;
+    } else {
+        st.ring.entry(key).or_default().push_back(job_id);
+    }
+    let job = st.jobs.get(&job_id).expect("live job").clone();
+    Some((job, item))
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let picked = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(found) = pop_ready(&mut st) {
+                    break Some(found);
+                }
+                if st.shutdown && st.jobs.is_empty() {
+                    break None;
+                }
+                st = shared.cv.wait(st).unwrap();
+            }
+        };
+        let Some((job, item)) = picked else { return };
+        match item {
+            WorkItem::Start(enqueued) => {
+                shared.metrics.observe_queue_wait(enqueued.elapsed());
+                let mut inner = job.inner.lock().unwrap();
+                // Unfold here, not at submit: the job's wall clock (and
+                // with it any deadline) starts when a worker first
+                // picks it up, exactly like the solo `Engine::run`.
+                let spec = inner.pending.take().expect("pending job");
+                inner.staged = Some(StagedJob::new(&shared.engine, &spec));
+                advance_and_dispatch(shared, &job, &mut inner);
+            }
+            WorkItem::Stage(task, enqueued) => {
+                shared.metrics.observe_queue_wait(enqueued.elapsed());
+                let kind = task.kind();
+                // Hold a slot of the rayon budget while executing, so
+                // task-internal fan-outs (checker, bounds) don't stack a
+                // second full thread pool on top of this one.
+                let slot = rayon::reserve_external_worker();
+                let t0 = Instant::now();
+                let done = task.execute();
+                drop(slot);
+                let took = t0.elapsed();
+                shared.metrics.observe_task(kind.as_str(), took);
+                let mut inner = job.inner.lock().unwrap();
+                inner.stats.busy += took;
+                inner.stats.tasks += 1;
+                inner.outstanding -= 1;
+                inner.staged.as_mut().expect("staged job").complete(done);
+                if inner.outstanding == 0 {
+                    advance_and_dispatch(shared, &job, &mut inner);
+                }
+            }
+            WorkItem::Whole(enqueued) => {
+                shared.metrics.observe_queue_wait(enqueued.elapsed());
+                let spec = job.inner.lock().unwrap().pending.take().expect("pending job");
+                let slot = rayon::reserve_external_worker();
+                let t0 = Instant::now();
+                let outcome = shared.engine.run_with_events(&spec, &mut |event| {
+                    let mut inner = job.inner.lock().unwrap();
+                    emit(&job, &mut inner, event.clone());
+                });
+                drop(slot);
+                let took = t0.elapsed();
+                shared.metrics.observe_task("whole", took);
+                let mut inner = job.inner.lock().unwrap();
+                inner.stats.busy += took;
+                inner.stats.tasks += 1;
+                finish_job(shared, &job, inner, outcome);
+            }
+        }
+    }
+}
+
+/// Advances a job's state machine, streams the fresh events, and either
+/// enqueues the next task batch or finalizes the job. Caller holds the
+/// job's inner lock (passed by guard where finalization may consume it).
+fn advance_and_dispatch(shared: &Arc<Shared>, job: &Arc<JobRun>, inner: &mut JobInner) {
+    let staged = inner.staged.as_mut().expect("staged job");
+    let step = staged.advance();
+    let events = staged.take_events();
+    for event in events {
+        emit(job, inner, event);
+    }
+    match step {
+        Step::Run(tasks) => {
+            inner.outstanding = tasks.len();
+            let now = Instant::now();
+            let items: Vec<WorkItem> =
+                tasks.into_iter().map(|t| WorkItem::Stage(t, now)).collect();
+            let mut st = shared.state.lock().unwrap();
+            enqueue(shared, &mut st, job.id, job.priority, items);
+        }
+        Step::Done(outcome) => {
+            inner.staged = None;
+            store_outcome(shared, job, inner, *outcome);
+        }
+    }
+}
+
+fn finish_job(
+    shared: &Arc<Shared>,
+    job: &Arc<JobRun>,
+    mut inner: MutexGuard<'_, JobInner>,
+    outcome: InferenceOutcome,
+) {
+    store_outcome(shared, job, &mut inner, outcome);
+}
+
+/// Publishes a finished outcome: wakes waiters, runs the done hook, and
+/// retires the job from the pool. The done hook runs on this worker
+/// thread with no scheduler locks held beyond the job's own (callers
+/// must not re-enter the scheduler from it with the same job).
+fn store_outcome(
+    shared: &Arc<Shared>,
+    job: &Arc<JobRun>,
+    inner: &mut JobInner,
+    outcome: InferenceOutcome,
+) {
+    let outcome = Arc::new(outcome);
+    let stats = inner.stats;
+    inner.outcome = Some(outcome.clone());
+    let hook = inner.on_done.take();
+    inner.sink = None;
+    job.done_cv.notify_all();
+    if let Some(hook) = hook {
+        hook(&outcome, &stats);
+    }
+    shared.metrics.job_completed();
+    let mut st = shared.state.lock().unwrap();
+    st.jobs.remove(&job.id);
+    st.queues.remove(&job.id);
+    // Wake idle workers so the shutdown condition is re-evaluated.
+    shared.cv.notify_all();
+}
+
+/// Streams one event to the job's sink with the next sequence number.
+fn emit(job: &Arc<JobRun>, inner: &mut JobInner, event: Event) {
+    let seq = inner.seq;
+    inner.seq += 1;
+    if let Some(sink) = &inner.sink {
+        sink(&JobEvent { job: job.id, seq, event });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcln_engine::{GclnConfig, PipelineConfig, ProblemSpec};
+    use std::sync::Mutex as StdMutex;
+
+    fn quick_job(name: &str) -> Job {
+        let spec = ProblemSpec::from_registry(name).unwrap();
+        Job::new(spec).with_config(PipelineConfig {
+            gcln: GclnConfig { max_epochs: 600, ..GclnConfig::default() },
+            max_inputs: 40,
+            max_attempts: 2,
+            cegis_rounds: 1,
+            ..PipelineConfig::default()
+        })
+    }
+
+    fn strip_ms(events: &[Event]) -> Vec<String> {
+        events
+            .iter()
+            .map(|e| {
+                let j = e.to_json();
+                match j.find("\"ms\":") {
+                    Some(i) => j[..i].to_string(),
+                    None => j,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scheduled_job_matches_solo_engine_bit_for_bit() {
+        let solo = Engine::new().run(&quick_job("ps2"));
+        let sched = Scheduler::new(SchedConfig::with_workers(3));
+        let ticket = sched.submit(quick_job("ps2"));
+        let outcome = ticket.wait();
+        assert_eq!(outcome.valid, solo.valid);
+        assert_eq!(strip_ms(&outcome.events), strip_ms(&solo.events));
+        for (a, b) in outcome.loops.iter().zip(&solo.loops) {
+            assert_eq!(a.formula, b.formula);
+            assert_eq!(a.attempts, b.attempts);
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn whole_job_granularity_matches_stage_granularity() {
+        let sched = Scheduler::new(SchedConfig::with_workers(2));
+        let staged = sched.submit(quick_job("ps3"));
+        let whole = sched.submit_with(
+            quick_job("ps3"),
+            SubmitOptions { granularity: Granularity::WholeJob, ..SubmitOptions::default() },
+            None,
+            None,
+        );
+        let a = staged.wait();
+        let b = whole.wait();
+        assert_eq!(strip_ms(&a.events), strip_ms(&b.events));
+        assert_eq!(a.loops[0].formula, b.loops[0].formula);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn event_sink_receives_dense_per_job_sequence_numbers() {
+        let sched = Scheduler::new(SchedConfig::with_workers(2));
+        let seen: Arc<StdMutex<Vec<(u64, u64, String)>>> = Arc::new(StdMutex::new(Vec::new()));
+        let sink_seen = seen.clone();
+        let ticket = sched.submit_with(
+            quick_job("ps2"),
+            SubmitOptions::default(),
+            Some(Box::new(move |ev: &JobEvent| {
+                sink_seen.lock().unwrap().push((ev.job, ev.seq, ev.event.to_json()));
+            })),
+            None,
+        );
+        let outcome = ticket.wait();
+        sched.shutdown();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), outcome.events.len(), "sink must see every event");
+        for (i, (job, seq, json)) in seen.iter().enumerate() {
+            assert_eq!(*job, ticket.id());
+            assert_eq!(*seq, i as u64, "seq numbers must be dense and ordered");
+            assert_eq!(*json, outcome.events[i].to_json());
+        }
+    }
+
+    #[test]
+    fn priorities_order_work_on_a_single_worker() {
+        // One worker: the high-priority job's tasks must be picked
+        // before the low-priority job's, so it finishes first.
+        let sched = Scheduler::new(SchedConfig::with_workers(1));
+        let order: Arc<StdMutex<Vec<&'static str>>> = Arc::new(StdMutex::new(Vec::new()));
+        let lo_order = order.clone();
+        let hi_order = order.clone();
+        let lo = sched.submit_with(
+            quick_job("ps2"),
+            SubmitOptions::priority(-5),
+            None,
+            Some(Box::new(move |_, _| lo_order.lock().unwrap().push("lo"))),
+        );
+        let hi = sched.submit_with(
+            quick_job("ps3"),
+            SubmitOptions::priority(5),
+            None,
+            Some(Box::new(move |_, _| hi_order.lock().unwrap().push("hi"))),
+        );
+        lo.wait();
+        hi.wait();
+        sched.shutdown();
+        // The low-priority job was submitted first, but with one worker
+        // the high-priority job must still overtake it.
+        assert_eq!(order.lock().unwrap().as_slice(), ["hi", "lo"]);
+    }
+
+    #[test]
+    fn cancelled_job_completes_partially_and_neighbors_are_unaffected() {
+        let solo = Engine::new().run(&quick_job("ps3"));
+        let sched = Scheduler::new(SchedConfig::with_workers(2));
+        let doomed = sched.submit(quick_job("ps2"));
+        let healthy = sched.submit(quick_job("ps3"));
+        doomed.cancel();
+        let d = doomed.wait();
+        let h = healthy.wait();
+        sched.shutdown();
+        assert_eq!(d.stopped, Some(gcln_engine::StopReason::Cancelled));
+        assert_eq!(strip_ms(&h.events), strip_ms(&solo.events), "neighbor must be untouched");
+        assert!(h.valid);
+    }
+
+    #[test]
+    fn metrics_count_tasks_and_queue_wait() {
+        let sched = Scheduler::new(SchedConfig::with_workers(2));
+        sched.submit(quick_job("ps2")).wait();
+        let m = sched.metrics();
+        sched.shutdown();
+        assert_eq!(m.jobs_submitted, 1);
+        assert_eq!(m.jobs_completed, 1);
+        assert!(m.tasks_executed >= 4, "trace+setup+train+extract+check at least");
+        assert!(m.queue_wait.count >= 1);
+        let kinds: Vec<&str> = m.tasks.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(kinds.contains(&"train") && kinds.contains(&"check"), "kinds: {kinds:?}");
+        assert!(m.utilization() > 0.0);
+    }
+}

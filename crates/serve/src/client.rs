@@ -50,14 +50,32 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<ClientResponse> {
+    request_with_headers(addr, method, path, &[], body)
+}
+
+/// [`request`] with extra request headers (e.g. `x-client-id` for the
+/// per-client rate limiter).
+///
+/// # Errors
+///
+/// Same as [`request`].
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> std::io::Result<ClientResponse> {
     use std::io::{Error, ErrorKind};
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
     let body_bytes = body.unwrap_or("").as_bytes();
+    let extra: String =
+        headers.iter().map(|(k, v)| format!("{k}: {v}\r\n")).collect();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\n{extra}content-length: {}\r\n\r\n",
         body_bytes.len()
     )?;
     stream.write_all(body_bytes)?;

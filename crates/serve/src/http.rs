@@ -222,12 +222,30 @@ pub struct Response {
     pub headers: Vec<(String, String)>,
     /// Response body.
     pub body: Vec<u8>,
+    /// `Content-Type` emitted with the body.
+    pub content_type: &'static str,
 }
 
 impl Response {
     /// A JSON response with the given body.
     pub fn json(status: u16, body: impl Into<String>) -> Response {
-        Response { status, headers: Vec::new(), body: body.into().into_bytes() }
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (Prometheus exposition format 0.0.4 — the
+    /// `/metrics` endpoint's content type).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "text/plain; version=0.0.4",
+        }
     }
 
     /// A JSON error body `{"error": message}` for a status.
@@ -251,7 +269,7 @@ impl Response {
     /// Propagates sink I/O errors.
     pub fn write_to(&self, sink: &mut impl Write) -> std::io::Result<()> {
         write!(sink, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
-        write!(sink, "content-type: application/json\r\n")?;
+        write!(sink, "content-type: {}\r\n", self.content_type)?;
         write!(sink, "content-length: {}\r\n", self.body.len())?;
         write!(sink, "connection: close\r\n")?;
         for (name, value) in &self.headers {

@@ -106,6 +106,42 @@ impl Journal {
         file.write_all(b"\n")?;
         file.flush()
     }
+
+    /// Current on-disk size in bytes (compaction trigger input).
+    pub fn size_bytes(&self) -> u64 {
+        self.file.lock().unwrap().metadata().map_or(0, |m| m.len())
+    }
+
+    /// Compaction: atomically replaces the journal's contents with
+    /// exactly `lines` (a temp file is written and renamed over the
+    /// original, so a crash mid-compaction leaves either the old or the
+    /// new journal, never a torn mix). A long-lived server calls this
+    /// when the append-only file outgrows its retention window — every
+    /// evicted job's line would otherwise live on disk forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; the original journal is intact
+    /// in that case.
+    pub fn rewrite(&self, lines: &[String]) -> std::io::Result<()> {
+        // Hold the append lock across the whole swap so a concurrent
+        // `append` cannot write to the orphaned pre-rename file.
+        let mut file = self.file.lock().unwrap();
+        let tmp = self.path.with_extension("jsonl.tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            for line in lines {
+                debug_assert!(!line.contains('\n'));
+                out.write_all(line.as_bytes())?;
+                out.write_all(b"\n")?;
+            }
+            out.flush()?;
+            out.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        *file = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +179,31 @@ mod tests {
             j.replayed()[1].get("id").and_then(Json::as_str),
             Some("job-2")
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rewrite_replaces_contents_atomically_and_appends_continue() {
+        let path = tmp("rewrite.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        for i in 0..10 {
+            j.append(&format!(r#"{{"type":"job","id":"job-{i}"}}"#)).unwrap();
+        }
+        let before = j.size_bytes();
+        assert!(before > 0);
+        j.rewrite(&[r#"{"type":"job","id":"job-8"}"#.into(), r#"{"type":"job","id":"job-9"}"#.into()])
+            .unwrap();
+        assert!(j.size_bytes() < before, "compaction must shrink the file");
+        // Appends after a rewrite land in the *new* file.
+        j.append(r#"{"type":"job","id":"job-10"}"#).unwrap();
+        let reopened = Journal::open(&path).unwrap();
+        let ids: Vec<&str> = reopened
+            .replayed()
+            .iter()
+            .filter_map(|v| v.get("id").and_then(Json::as_str))
+            .collect();
+        assert_eq!(ids, ["job-8", "job-9", "job-10"]);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,21 +1,23 @@
 //! # gcln-serve — the HTTP batch inference service
 //!
 //! A hand-rolled HTTP/1.1 front end (no async runtime exists in the
-//! offline vendor set) over [`gcln_engine`]: submissions queue into a
-//! bounded job queue, a fixed worker pool drives
-//! [`gcln_engine::Engine`] jobs, and results — learned invariants plus
-//! the full structured [`gcln_engine::Event`] stream — are served back
-//! as JSON and journaled to disk for restart replay.
+//! offline vendor set) over the `gcln-sched` stage-graph scheduler:
+//! admitted submissions are decomposed into stage tasks and interleaved
+//! across one shared worker pool (training one job while checking
+//! another), and results — learned invariants plus the full structured
+//! [`gcln_engine::Event`] stream — are served back as JSON and
+//! journaled to disk for restart replay.
 //!
 //! ## API
 //!
 //! | Route | Semantics |
 //! |---|---|
-//! | `POST /jobs` | Submit a `.loop` source (`{"source": …}` plus optional `name`, `fast`, `deadline_secs`, `step_budget`, `max_degree`). `202` with a job id, `503` + `Retry-After` when the queue is full. |
+//! | `POST /jobs` | Submit a `.loop` source (`{"source": …}` plus optional `name`, `fast`, `deadline_secs`, `step_budget`, `max_degree`). `202` with a job id, `503` + `Retry-After` when the queue is full, `429` + `Retry-After` past the per-client rate limit. |
 //! | `GET /jobs/{id}` | Status, learned invariants, and the accumulated event stream. |
 //! | `DELETE /jobs/{id}` | Trip the job's [`gcln_engine::CancelToken`]; the partial outcome (events intact) stays queryable. |
 //! | `GET /healthz` | Liveness. |
-//! | `GET /stats` | Queue depth, worker utilization, spec/trace cache hit rates, journal state. |
+//! | `GET /stats` | Queue depth, scheduler utilization, spec/trace cache hit rates, journal state. |
+//! | `GET /metrics` | Prometheus text: stage latency histograms, queue wait, worker utilization, cache hit ratios. |
 //! | `POST /shutdown` | Graceful stop: running jobs are cancelled, journaled, and every thread joins. |
 //!
 //! Full request/response schemas are documented in the repository
@@ -32,8 +34,12 @@
 //!   [`gcln_engine::ProblemSpec::from_source_str`]. (The Trace-stage
 //!   cache lives engine-side in [`gcln_engine::cache`]; the server
 //!   wires one into its shared engine.)
-//! - [`journal`] — JSON-lines persistence of completed jobs.
-//! - [`server`] — queue, worker pool, routing, replay.
+//! - [`journal`] — JSON-lines persistence of completed jobs, with
+//!   size-triggered compaction for long-lived servers.
+//! - [`limiter`] — the per-client token-bucket rate limiter; remaining
+//!   allowance doubles as scheduler priority.
+//! - [`metrics`] — Prometheus text rendering of the scheduler snapshot.
+//! - [`server`] — admission, scheduler wiring, routing, replay.
 //! - [`client`] — a minimal blocking client for tests and scripts.
 //!
 //! ## Determinism
@@ -49,10 +55,13 @@ pub mod client;
 pub mod http;
 pub mod journal;
 pub mod json;
+pub mod limiter;
+pub mod metrics;
 pub mod server;
 
 pub use cache::SpecCache;
 pub use http::{HttpError, Limits, Request, Response};
 pub use journal::Journal;
 pub use json::{Json, JsonError};
+pub use limiter::{RateLimit, RateLimiter};
 pub use server::{start, ServeConfig, ServerHandle};

@@ -1,0 +1,186 @@
+//! Per-client token-bucket rate limiting for `POST /jobs`.
+//!
+//! Each client key (the `x-client-id` header when present, else the
+//! peer IP) owns a bucket of `burst` tokens refilling at `rate_per_sec`.
+//! A submission costs one token; an empty bucket answers `429` with a
+//! `Retry-After` telling the client when the next token lands.
+//!
+//! The remaining-token count doubles as the admitted job's **scheduler
+//! priority**: clients with headroom left get their jobs picked before
+//! jobs from clients hammering the API, so a burst-heavy client
+//! degrades its own latency first, not its neighbors' (see
+//! `gcln_sched`'s priority ring).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Rate-limit settings for one server.
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimit {
+    /// Sustained tokens per second per client.
+    pub rate_per_sec: f64,
+    /// Bucket capacity (burst size), in tokens.
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// A limit of `rate_per_sec` with a burst of twice that (min 1).
+    pub fn per_sec(rate_per_sec: f64) -> RateLimit {
+        RateLimit { rate_per_sec, burst: (2.0 * rate_per_sec).max(1.0) }
+    }
+}
+
+/// The outcome of charging one token.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Admission {
+    /// Admitted; `priority` is the whole tokens left in the bucket
+    /// (higher ⇒ more headroom ⇒ scheduled sooner).
+    Granted {
+        /// Scheduler priority derived from the remaining allowance.
+        priority: i32,
+    },
+    /// Rejected; retry after this many seconds (≥ 1 when rounded up).
+    Rejected {
+        /// Seconds until the next token accrues.
+        retry_after_secs: f64,
+    },
+}
+
+/// A concurrent token-bucket table, capacity-bounded: when the table
+/// exceeds its cap, buckets that have refilled to full (i.e. carry no
+/// information) are dropped.
+#[derive(Debug)]
+pub struct RateLimiter {
+    limit: RateLimit,
+    buckets: Mutex<HashMap<String, (f64, Instant)>>,
+    max_clients: usize,
+}
+
+/// Default bound on tracked client buckets.
+pub const DEFAULT_MAX_CLIENTS: usize = 8192;
+
+impl RateLimiter {
+    /// A limiter enforcing `limit` per client key.
+    pub fn new(limit: RateLimit) -> RateLimiter {
+        RateLimiter {
+            limit: RateLimit {
+                rate_per_sec: limit.rate_per_sec.max(1e-6),
+                burst: limit.burst.max(1.0),
+            },
+            buckets: Mutex::new(HashMap::new()),
+            max_clients: DEFAULT_MAX_CLIENTS,
+        }
+    }
+
+    /// Charges one token against `key`'s bucket at time `now`.
+    pub fn admit(&self, key: &str, now: Instant) -> Admission {
+        let mut buckets = self.buckets.lock().unwrap();
+        if buckets.len() >= self.max_clients && !buckets.contains_key(key) {
+            // Drop buckets that have refilled to capacity — they are
+            // indistinguishable from fresh ones.
+            let limit = self.limit;
+            buckets.retain(|_, (tokens, at)| {
+                refill(tokens, at, now, limit);
+                *tokens < limit.burst
+            });
+            // Hard cap: a unique-key flood keeps every bucket mid-refill,
+            // so when the retain freed nothing, evict the fullest bucket
+            // (the one closest to carrying no information). The table
+            // can never exceed `max_clients`.
+            while buckets.len() >= self.max_clients {
+                let victim = buckets
+                    .iter()
+                    .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                    .map(|(k, _)| k.clone())
+                    .expect("nonempty table");
+                buckets.remove(&victim);
+            }
+        }
+        let (tokens, refilled_at) =
+            buckets.entry(key.to_string()).or_insert((self.limit.burst, now));
+        refill(tokens, refilled_at, now, self.limit);
+        if *tokens >= 1.0 {
+            *tokens -= 1.0;
+            Admission::Granted { priority: tokens.floor() as i32 }
+        } else {
+            Admission::Rejected { retry_after_secs: (1.0 - *tokens) / self.limit.rate_per_sec }
+        }
+    }
+
+    /// Tracked client buckets (diagnostics).
+    pub fn tracked_clients(&self) -> usize {
+        self.buckets.lock().unwrap().len()
+    }
+}
+
+fn refill(tokens: &mut f64, refilled_at: &mut Instant, now: Instant, limit: RateLimit) {
+    let dt = now.saturating_duration_since(*refilled_at).as_secs_f64();
+    *tokens = (*tokens + dt * limit.rate_per_sec).min(limit.burst);
+    *refilled_at = now;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_then_reject_then_refill() {
+        let rl = RateLimiter::new(RateLimit { rate_per_sec: 2.0, burst: 3.0 });
+        let t0 = Instant::now();
+        // Burst of 3 admitted with descending priority.
+        assert_eq!(rl.admit("a", t0), Admission::Granted { priority: 2 });
+        assert_eq!(rl.admit("a", t0), Admission::Granted { priority: 1 });
+        assert_eq!(rl.admit("a", t0), Admission::Granted { priority: 0 });
+        let Admission::Rejected { retry_after_secs } = rl.admit("a", t0) else {
+            panic!("4th burst call must be rejected");
+        };
+        assert!(retry_after_secs > 0.0 && retry_after_secs <= 0.5, "{retry_after_secs}");
+        // After one second at 2 tokens/sec, two more fit.
+        let t1 = t0 + Duration::from_secs(1);
+        assert!(matches!(rl.admit("a", t1), Admission::Granted { .. }));
+        assert!(matches!(rl.admit("a", t1), Admission::Granted { .. }));
+        assert!(matches!(rl.admit("a", t1), Admission::Rejected { .. }));
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let rl = RateLimiter::new(RateLimit { rate_per_sec: 1.0, burst: 1.0 });
+        let t0 = Instant::now();
+        assert!(matches!(rl.admit("a", t0), Admission::Granted { .. }));
+        assert!(matches!(rl.admit("a", t0), Admission::Rejected { .. }));
+        // A different client still has its full bucket.
+        assert!(matches!(rl.admit("b", t0), Admission::Granted { .. }));
+        assert_eq!(rl.tracked_clients(), 2);
+    }
+
+    #[test]
+    fn unique_key_flood_cannot_grow_the_table_past_the_cap() {
+        let mut rl = RateLimiter::new(RateLimit { rate_per_sec: 0.1, burst: 1.0 });
+        rl.max_clients = 8;
+        let t0 = Instant::now();
+        // Nothing refills at t0, so the soft eviction frees nothing —
+        // the hard cap must hold anyway.
+        for i in 0..100 {
+            assert!(matches!(rl.admit(&format!("flood-{i}"), t0), Admission::Granted { .. }));
+            assert!(rl.tracked_clients() <= 8, "at i={i}: {}", rl.tracked_clients());
+        }
+    }
+
+    #[test]
+    fn full_buckets_are_evicted_at_capacity() {
+        let mut rl = RateLimiter::new(RateLimit { rate_per_sec: 100.0, burst: 1.0 });
+        rl.max_clients = 4;
+        let t0 = Instant::now();
+        for i in 0..4 {
+            rl.admit(&format!("c{i}"), t0);
+        }
+        assert_eq!(rl.tracked_clients(), 4);
+        // Much later every old bucket has refilled; a new client evicts
+        // them instead of growing the table.
+        let t1 = t0 + Duration::from_secs(60);
+        assert!(matches!(rl.admit("fresh", t1), Admission::Granted { .. }));
+        assert_eq!(rl.tracked_clients(), 1, "refilled buckets must be dropped");
+    }
+}

@@ -1,44 +1,54 @@
-//! The batch inference server: a bounded job queue and a fixed worker
-//! pool over [`gcln_engine::Engine`], fronted by the hand-rolled HTTP
-//! layer ([`crate::http`]).
+//! The batch inference server: admission control and job records over
+//! the `gcln-sched` stage-graph scheduler, fronted by the hand-rolled
+//! HTTP layer ([`crate::http`]).
 //!
 //! Life of a job:
 //!
-//! 1. `POST /jobs` parses the body, resolves the spec through the
-//!    [`SpecCache`] (content-hash memoized), and enqueues — or answers
-//!    `503` + `Retry-After` when the queue is at capacity (backpressure
-//!    instead of latency collapse).
-//! 2. A worker thread pops the id, builds a [`Job`] with the
-//!    submission's deadline/step budget and the record's
-//!    [`CancelToken`], and drives the engine; every [`Event`] is
-//!    appended to the record as a pre-serialized JSON line.
+//! 1. `POST /jobs` passes the per-client rate limiter (token bucket
+//!    keyed by `x-client-id` or peer IP → `429` + `Retry-After`),
+//!    parses the body, resolves the spec through the [`SpecCache`]
+//!    (content-hash memoized), and submits to the scheduler — or
+//!    answers `503` + `Retry-After` when the server is at capacity
+//!    (backpressure instead of latency collapse). The client's
+//!    remaining rate allowance becomes the job's scheduler priority,
+//!    so a burst-heavy client degrades its own latency first.
+//! 2. The scheduler interleaves the job's stage tasks (trace, training
+//!    attempts, extraction, checking) with every other job's across one
+//!    shared worker pool; each event is appended to the record as a
+//!    pre-serialized JSON line, in per-job order.
 //! 3. On completion the record flips to `done` and — when a journal is
-//!    configured — one JSON line is appended, so a restarted server
-//!    replays the result without re-running inference.
+//!    configured — one JSON line is appended (and the journal is
+//!    compacted once it outgrows its size threshold), so a restarted
+//!    server replays results without re-running inference.
 //!
 //! `DELETE /jobs/{id}` trips the token; the engine stops cooperatively
-//! between stages/attempts and the record keeps its partial events and
-//! invariants (`"stopped":"cancelled"`).
+//! at the next task boundary and the record keeps its partial events
+//! and invariants (`"stopped":"cancelled"`). `GET /metrics` exposes
+//! the scheduler's stage-latency histograms, queue wait, worker
+//! utilization, and cache hit ratios in Prometheus text format.
 //!
-//! Determinism: workers share one [`TraceCache`]-backed engine, and both
-//! caches are keyed purely by content, so concurrent submissions of the
-//! same source produce bit-identical results and event streams (modulo
-//! the wall-clock `ms` timing fields).
+//! Determinism: the scheduler drives the same stage machine as a solo
+//! `Engine::run` and both caches are keyed purely by content, so
+//! concurrent submissions of the same source produce bit-identical
+//! results and event streams (modulo the wall-clock `ms` fields) at any
+//! worker count.
 
 use crate::cache::SpecCache;
 use crate::http::{read_request, Limits, Request, Response};
 use crate::journal::Journal;
 use crate::json::Json;
+use crate::limiter::{Admission, RateLimit, RateLimiter};
 use gcln_engine::cache::TraceCache;
 use gcln_engine::events::json_string;
-use gcln_engine::{CancelToken, Engine, Job, PipelineConfig, ProblemSpec};
-use std::collections::{HashMap, VecDeque};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use gcln_engine::{CancelToken, Engine, Event, Job, PipelineConfig};
+use gcln_sched::{Granularity, JobEvent, SchedConfig, Scheduler, SubmitOptions};
+use std::collections::HashMap;
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server configuration; see `gcln serve` for the CLI spelling.
 #[derive(Clone, Debug)]
@@ -49,17 +59,25 @@ pub struct ServeConfig {
     /// Bind port; `0` picks an ephemeral port (reported by
     /// [`ServerHandle::local_addr`] and the CLI's `listening on` line).
     pub port: u16,
-    /// Inference worker threads (the HTTP layer has its own
+    /// Scheduler worker threads (the HTTP layer has its own
     /// thread-per-connection accept loop).
     pub workers: usize,
-    /// Bounded queue capacity; submissions beyond it get `503`.
+    /// Admission bound: submissions are rejected with `503` once more
+    /// than `queue_cap` jobs are waiting beyond the pool width (i.e. at
+    /// most `workers + queue_cap` unfinished jobs are admitted).
     pub queue_cap: usize,
     /// JSON-lines job journal path (`None` = no persistence).
     pub journal: Option<PathBuf>,
+    /// Compact the journal (rewrite it with only the retained job
+    /// records) when it exceeds this many bytes. `None` disables
+    /// compaction.
+    pub journal_compact_bytes: Option<u64>,
+    /// Per-client rate limit on `POST /jobs` (`None` = unlimited).
+    pub rate_limit: Option<RateLimit>,
     /// Completed-job records retained in memory (oldest evicted
     /// beyond this; queued/running jobs are never evicted). Evicted
-    /// results remain in the journal, which restart replay caps the
-    /// same way. Bounds a long-lived server's memory.
+    /// results remain in the journal until compaction, which caps it
+    /// the same way. Bounds a long-lived server's memory.
     pub max_retained_jobs: usize,
     /// Ceiling on every job's wall-clock deadline (`None` = unlimited).
     /// Submissions without `deadline_secs` get exactly this deadline;
@@ -78,6 +96,8 @@ impl Default for ServeConfig {
             workers: 2,
             queue_cap: 16,
             journal: None,
+            journal_compact_bytes: Some(4 * 1024 * 1024),
+            rate_limit: None,
             max_retained_jobs: 4096,
             max_job_time: Some(Duration::from_secs(600)),
             limits: Limits::default(),
@@ -103,14 +123,6 @@ impl JobStatus {
     }
 }
 
-/// Everything a worker needs to run a queued job.
-struct QueuedWork {
-    spec: ProblemSpec,
-    config: PipelineConfig,
-    deadline: Option<Duration>,
-    step_budget: Option<u64>,
-}
-
 /// One learned invariant in API form.
 struct InvariantOut {
     loop_id: u64,
@@ -134,8 +146,10 @@ struct JobRecord {
     id: u64,
     name: String,
     source_hash: u64,
+    /// Scheduler priority the job was admitted with (rate-limit
+    /// headroom; 0 when rate limiting is off or after replay).
+    priority: i32,
     cancel: CancelToken,
-    pending: Mutex<Option<QueuedWork>>,
     state: Mutex<JobState>,
 }
 
@@ -166,11 +180,12 @@ impl JobRecord {
             })
             .collect();
         format!(
-            r#""id":{},"name":{},"source_hash":"{:016x}","status":"{}","valid":{},"stopped":{},"cegis_rounds":{},"seconds":{:.3},"invariants":[{}],"events":[{}]"#,
+            r#""id":{},"name":{},"source_hash":"{:016x}","status":"{}","priority":{},"valid":{},"stopped":{},"cegis_rounds":{},"seconds":{:.3},"invariants":[{}],"events":[{}]"#,
             json_string(&self.api_id()),
             json_string(&self.name),
             self.source_hash,
             st.status.as_str(),
+            self.priority,
             st.valid,
             stopped,
             st.cegis_rounds,
@@ -181,45 +196,64 @@ impl JobRecord {
     }
 }
 
+/// Admission state: flips under one lock so a submission either sees
+/// shutdown/capacity truthfully or is fully admitted (record inserted
+/// and scheduler-submitted) before anyone else can observe it.
+struct AdmissionState {
+    active: usize,
+    shutdown: bool,
+}
+
 struct Shared {
     cfg: ServeConfig,
     local_addr: SocketAddr,
-    engine: Engine,
+    sched: Scheduler,
     spec_cache: SpecCache,
     trace_cache: Arc<TraceCache>,
+    limiter: Option<RateLimiter>,
     journal: Option<Journal>,
+    /// Serializes journal append + compaction across completions: a
+    /// rewrite snapshot and a concurrent append may not interleave, or
+    /// the appended record would be erased from disk (records flip to
+    /// `Done` *before* this gate, so a rewrite's snapshot always sees
+    /// any record whose append preceded the rewrite).
+    journal_gate: Mutex<()>,
     journal_rejected: usize,
     /// Records successfully replayed at startup (fixed; `/stats` must
     /// not re-derive this from the evictable jobs map).
     journal_replayed: usize,
     jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
-    queue: Mutex<VecDeque<u64>>,
-    queue_cv: Condvar,
+    admission: Mutex<AdmissionState>,
     next_id: AtomicU64,
-    busy_workers: AtomicUsize,
     completed: AtomicU64,
-    shutdown: AtomicBool,
+    rate_limited: AtomicU64,
+    compactions: AtomicU64,
+    admitted: AtomicU64,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.admission.lock().unwrap().shutdown
+    }
+
     fn trigger_shutdown(&self) {
         {
-            // The flag flips under the queue lock — the same lock job
-            // admission checks it under — so a submission either sees
-            // shutdown (503) or lands in the queue *before* the flag is
-            // set, where the drain loop below is guaranteed to run it.
-            let _queue = self.queue.lock().unwrap();
-            if self.shutdown.swap(true, Ordering::SeqCst) {
+            // The flag flips under the admission lock — the same lock
+            // job admission checks it under — so a submission either
+            // sees shutdown (503) or lands in the jobs map *before* the
+            // flag is set, where the cancel sweep below reaches it.
+            let mut admission = self.admission.lock().unwrap();
+            if admission.shutdown {
                 return;
             }
-            // Cancel everything queued or running so workers drain
-            // promptly; cancelled jobs still complete with partial
-            // outcomes and reach the journal.
+            admission.shutdown = true;
+            // Cancel everything queued or running so the scheduler
+            // drains promptly; cancelled jobs still complete with
+            // partial outcomes and reach the journal.
             for record in self.jobs.lock().unwrap().values() {
                 record.cancel.cancel();
             }
-            self.queue_cv.notify_all();
         }
         // Wake the acceptor out of its blocking `accept`.
         let _ = TcpStream::connect(self.local_addr);
@@ -231,7 +265,6 @@ impl Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -262,10 +295,11 @@ impl ServerHandle {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-        // Acceptor is down, so the connection set is final.
+        // The acceptor is down and the admission flag is set, so no new
+        // jobs can arrive: draining the scheduler is race-free (every
+        // admitted job completes — and is journaled — before this
+        // returns).
+        self.shared.sched.shutdown();
         let conns: Vec<JoinHandle<()>> =
             self.shared.conn_threads.lock().unwrap().drain(..).collect();
         for conn in conns {
@@ -275,7 +309,7 @@ impl ServerHandle {
 }
 
 /// Starts the server: binds, replays the journal (if any), and spawns
-/// the acceptor and worker threads.
+/// the scheduler pool and the acceptor thread.
 ///
 /// # Errors
 ///
@@ -317,34 +351,29 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     }
 
     let trace_cache = Arc::new(TraceCache::new());
+    let engine = Engine::new().with_trace_cache(trace_cache.clone());
+    let sched = Scheduler::with_engine(SchedConfig::with_workers(cfg.workers), engine);
     let shared = Arc::new(Shared {
-        engine: Engine::new().with_trace_cache(trace_cache.clone()),
+        sched,
         spec_cache: SpecCache::new(),
         trace_cache,
+        limiter: cfg.rate_limit.map(RateLimiter::new),
         journal,
+        journal_gate: Mutex::new(()),
         journal_rejected,
         journal_replayed,
         jobs: Mutex::new(jobs),
-        queue: Mutex::new(VecDeque::new()),
-        queue_cv: Condvar::new(),
+        admission: Mutex::new(AdmissionState { active: 0, shutdown: false }),
         next_id: AtomicU64::new(next_id),
-        busy_workers: AtomicUsize::new(0),
         completed: AtomicU64::new(0),
-        shutdown: AtomicBool::new(false),
+        rate_limited: AtomicU64::new(0),
+        compactions: AtomicU64::new(0),
+        admitted: AtomicU64::new(0),
         conn_threads: Mutex::new(Vec::new()),
         local_addr,
         cfg,
     });
 
-    let workers = (0..shared.cfg.workers)
-        .map(|i| {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name(format!("gcln-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn worker")
-        })
-        .collect();
     let acceptor = {
         let shared = shared.clone();
         std::thread::Builder::new()
@@ -352,13 +381,13 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
             .spawn(move || accept_loop(&shared, listener))
             .expect("spawn acceptor")
     };
-    Ok(ServerHandle { shared, acceptor: Some(acceptor), workers })
+    Ok(ServerHandle { shared, acceptor: Some(acceptor) })
 }
 
 fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     loop {
         let accepted = listener.accept();
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if shared.is_shutdown() {
             break;
         }
         let stream = match accepted {
@@ -398,21 +427,23 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     // thread (or delay shutdown joins) forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let peer = stream.peer_addr().ok().map(|a| a.ip());
     let response = match read_request(&mut stream, &shared.cfg.limits) {
         Ok(None) => return,
-        Ok(Some(request)) => route(shared, &request),
+        Ok(Some(request)) => route(shared, &request, peer),
         Err(e) => Response::from(e),
     };
     let _ = response.write_to(&mut stream);
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-fn route(shared: &Arc<Shared>, request: &Request) -> Response {
+fn route(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -> Response {
     let path = request.path();
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => Response::json(200, r#"{"ok":true}"#),
         ("GET", "/stats") => stats(shared),
-        ("POST", "/jobs") => post_job(shared, request),
+        ("GET", "/metrics") => metrics(shared),
+        ("POST", "/jobs") => post_job(shared, request, peer),
         ("POST", "/shutdown") => {
             shared.trigger_shutdown();
             Response::json(200, r#"{"ok":true,"shutting_down":true}"#)
@@ -427,7 +458,7 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
             }
         }
         (_, "/jobs") => Response::error(405, "use POST on /jobs").with_header("allow", "POST"),
-        (_, "/healthz" | "/stats") => {
+        (_, "/healthz" | "/stats" | "/metrics") => {
             Response::error(405, "use GET here").with_header("allow", "GET")
         }
         (_, "/shutdown") => {
@@ -446,9 +477,28 @@ const JOB_KEYS: [&str; 6] = ["source", "name", "fast", "deadline_secs", "step_bu
 /// clamp (6) for headroom, but bounded.
 const MAX_DEGREE_OVERRIDE: u64 = 8;
 
-fn post_job(shared: &Arc<Shared>, request: &Request) -> Response {
-    if shared.shutdown.load(Ordering::SeqCst) {
+fn post_job(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -> Response {
+    if shared.is_shutdown() {
         return Response::error(503, "server is shutting down").with_header("retry-after", "1");
+    }
+    // Per-client rate limit, before any parsing work: the limiter is
+    // the cheap shield in front of the parser, and the remaining
+    // allowance becomes the job's scheduler priority.
+    let mut priority = 0;
+    if let Some(limiter) = &shared.limiter {
+        let key = match request.header("x-client-id") {
+            Some(id) => id.to_string(),
+            None => peer.map_or_else(|| "unknown".to_string(), |ip| ip.to_string()),
+        };
+        match limiter.admit(&key, Instant::now()) {
+            Admission::Granted { priority: p } => priority = p,
+            Admission::Rejected { retry_after_secs } => {
+                shared.rate_limited.fetch_add(1, Ordering::Relaxed);
+                let secs = retry_after_secs.ceil().max(1.0) as u64;
+                return Response::error(429, "rate limit exceeded for this client")
+                    .with_header("retry-after", &secs.to_string());
+            }
+        }
     }
     let Ok(text) = std::str::from_utf8(&request.body) else {
         return Response::error(400, "body is not UTF-8");
@@ -526,28 +576,27 @@ fn post_job(shared: &Arc<Shared>, request: &Request) -> Response {
     };
     spec.apply_overrides(max_degree, &[]);
     let config = if fast { PipelineConfig::fast() } else { PipelineConfig::default() };
-    let work = QueuedWork { spec, config, deadline, step_budget };
 
-    // Queue admission holds the queue lock across the capacity check and
-    // push so two racing submissions cannot both squeeze past the cap —
-    // and re-checks shutdown under the same lock, which (paired with
-    // `trigger_shutdown` flipping the flag under it) guarantees an
-    // admitted job is either drained by a worker or rejected, never
-    // stranded as permanently "queued".
-    let mut queue = shared.queue.lock().unwrap();
-    if shared.shutdown.load(Ordering::SeqCst) {
+    // Admission holds its lock across the capacity check, the record
+    // insert, and the scheduler submit, so two racing submissions
+    // cannot both squeeze past the cap — and the shutdown flag (which
+    // flips under the same lock) always sees a fully admitted job to
+    // cancel, never a half-inserted one.
+    let mut admission = shared.admission.lock().unwrap();
+    if admission.shutdown {
         return Response::error(503, "server is shutting down").with_header("retry-after", "1");
     }
-    if queue.len() >= shared.cfg.queue_cap {
+    if admission.active >= shared.cfg.queue_cap + shared.cfg.workers {
         return Response::error(503, "job queue is full").with_header("retry-after", "1");
     }
+    admission.active += 1;
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
     let record = Arc::new(JobRecord {
         id,
-        name: work.spec.problem.name.clone(),
+        name: spec.problem.name.clone(),
         source_hash,
+        priority,
         cancel: CancelToken::new(),
-        pending: Mutex::new(Some(work)),
         state: Mutex::new(JobState {
             status: JobStatus::Queued,
             valid: false,
@@ -559,18 +608,122 @@ fn post_job(shared: &Arc<Shared>, request: &Request) -> Response {
         }),
     });
     shared.jobs.lock().unwrap().insert(id, record.clone());
-    queue.push_back(id);
-    drop(queue);
-    shared.queue_cv.notify_one();
+    shared.admitted.fetch_add(1, Ordering::Relaxed);
+
+    let ext_names = spec.problem.extended_names();
+    let mut job = Job::new(spec).with_config(config);
+    job.cancel = record.cancel.clone();
+    // The server-wide job-time ceiling applies even when the submission
+    // asked for no deadline at all.
+    let deadline = match (deadline, shared.cfg.max_job_time) {
+        (Some(requested), Some(cap)) => Some(requested.min(cap)),
+        (None, cap) => cap,
+        (requested, None) => requested,
+    };
+    if let Some(deadline) = deadline {
+        job = job.with_deadline(deadline);
+    }
+    if let Some(steps) = step_budget {
+        job = job.with_step_budget(steps);
+    }
+    let sink_record = record.clone();
+    let done_shared = shared.clone();
+    let done_record = record.clone();
+    shared.sched.submit_with(
+        job,
+        SubmitOptions { priority, granularity: Granularity::Stage },
+        Some(Box::new(move |ev: &JobEvent| {
+            let mut st = sink_record.state.lock().unwrap();
+            if matches!(ev.event, Event::JobStarted { .. }) {
+                st.status = JobStatus::Running;
+            }
+            st.events.push(ev.event.to_json());
+        })),
+        Some(Box::new(move |outcome, _stats| {
+            finish_record(&done_shared, &done_record, outcome, &ext_names);
+        })),
+    );
+    drop(admission);
     Response::json(
         202,
         format!(
-            r#"{{"id":{},"status":"queued","name":{},"source_hash":"{:016x}"}}"#,
+            r#"{{"id":{},"status":"queued","name":{},"source_hash":"{:016x}","priority":{}}}"#,
             json_string(&record.api_id()),
             json_string(&record.name),
-            source_hash
+            source_hash,
+            priority
         ),
     )
+}
+
+/// Completion hook, invoked by the scheduler worker that finished the
+/// job: publishes the outcome on the record, journals it, and applies
+/// retention (in-memory eviction + on-disk compaction).
+fn finish_record(
+    shared: &Arc<Shared>,
+    record: &Arc<JobRecord>,
+    outcome: &gcln_engine::InferenceOutcome,
+    ext_names: &[String],
+) {
+    {
+        let mut st = record.state.lock().unwrap();
+        st.status = JobStatus::Done;
+        st.valid = outcome.valid;
+        st.stopped = outcome.stopped.map(|r| r.as_str().to_string());
+        st.cegis_rounds = outcome.cegis_rounds_used as u64;
+        st.seconds = outcome.runtime.as_secs_f64();
+        st.invariants = outcome
+            .loops
+            .iter()
+            .map(|li| InvariantOut {
+                loop_id: li.loop_id as u64,
+                formula: li.formula.display(ext_names).to_string(),
+                attempts: li.attempts as u64,
+            })
+            .collect();
+    }
+    {
+        let mut jobs = shared.jobs.lock().unwrap();
+        evict_completed(&mut jobs, shared.cfg.max_retained_jobs);
+    }
+    if let Some(journal) = &shared.journal {
+        // The gate serializes append + compaction across completions
+        // (never endpoint reads): without it, a rewrite built from a
+        // snapshot taken before a neighbor's append would erase that
+        // neighbor's record from disk. The jobs lock is only held for
+        // the snapshot; serializing ~max_retained records and fsyncing
+        // the rewrite happen outside it.
+        let _gate = shared.journal_gate.lock().unwrap();
+        let line = format!(r#"{{"type":"job",{}}}"#, record.body_json());
+        if let Err(e) = journal.append(&line) {
+            eprintln!("[gcln-serve] journal append failed for {}: {e}", record.api_id());
+        }
+        let compact: Option<Vec<Arc<JobRecord>>> = match shared.cfg.journal_compact_bytes {
+            Some(threshold) if journal.size_bytes() > threshold => {
+                let jobs = shared.jobs.lock().unwrap();
+                let mut done: Vec<Arc<JobRecord>> = jobs
+                    .values()
+                    .filter(|r| r.state.lock().unwrap().status == JobStatus::Done)
+                    .cloned()
+                    .collect();
+                done.sort_unstable_by_key(|r| r.id);
+                Some(done)
+            }
+            _ => None,
+        };
+        if let Some(done) = compact {
+            let lines: Vec<String> =
+                done.iter().map(|r| format!(r#"{{"type":"job",{}}}"#, r.body_json())).collect();
+            match journal.rewrite(&lines) {
+                Ok(()) => {
+                    shared.compactions.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => eprintln!("[gcln-serve] journal compaction failed: {e}"),
+            }
+        }
+    }
+    shared.completed.fetch_add(1, Ordering::Relaxed);
+    shared.admission.lock().unwrap().active -= 1;
 }
 
 /// Parses `job-<n>` into the numeric id.
@@ -609,7 +762,12 @@ fn delete_job(shared: &Arc<Shared>, id: &str) -> Response {
 }
 
 fn stats(shared: &Arc<Shared>) -> Response {
-    let queue_depth = shared.queue.lock().unwrap().len();
+    let active = shared.admission.lock().unwrap().active;
+    // The scheduler interleaves jobs rather than pinning them to
+    // workers, so the legacy queue/busy figures are derived: jobs
+    // beyond the pool width are "queued", the rest keep workers busy.
+    let queue_depth = active.saturating_sub(shared.cfg.workers);
+    let busy_workers = active.min(shared.cfg.workers);
     let (mut queued, mut running, mut done) = (0u64, 0u64, 0u64);
     let total = {
         let jobs = shared.jobs.lock().unwrap();
@@ -628,25 +786,32 @@ fn stats(shared: &Arc<Shared>) -> Response {
     let journal = match &shared.journal {
         None => "null".to_string(),
         Some(j) => format!(
-            r#"{{"path":{},"jobs_replayed":{},"lines_skipped":{}}}"#,
+            r#"{{"path":{},"jobs_replayed":{},"lines_skipped":{},"size_bytes":{},"compactions":{}}}"#,
             json_string(&j.path().display().to_string()),
             shared.journal_replayed,
-            j.skipped_lines() + shared.journal_rejected
+            j.skipped_lines() + shared.journal_rejected,
+            j.size_bytes(),
+            shared.compactions.load(Ordering::Relaxed)
         ),
     };
+    let sched = shared.sched.metrics();
     Response::json(
         200,
         format!(
-            r#"{{"queue_depth":{},"queue_cap":{},"workers":{},"busy_workers":{},"jobs":{{"total":{},"queued":{},"running":{},"done":{},"completed_this_process":{}}},"spec_cache":{},"trace_cache":{},"journal":{}}}"#,
+            r#"{{"queue_depth":{},"queue_cap":{},"workers":{},"busy_workers":{},"jobs":{{"total":{},"queued":{},"running":{},"done":{},"completed_this_process":{}}},"scheduler":{{"active_jobs":{},"tasks_executed":{},"utilization":{:.3}}},"rate_limited":{},"spec_cache":{},"trace_cache":{},"journal":{}}}"#,
             queue_depth,
             shared.cfg.queue_cap,
             shared.cfg.workers,
-            shared.busy_workers.load(Ordering::Relaxed),
+            busy_workers,
             total,
             queued,
             running,
             done,
             shared.completed.load(Ordering::Relaxed),
+            shared.sched.active_jobs(),
+            sched.tasks_executed,
+            sched.utilization(),
+            shared.rate_limited.load(Ordering::Relaxed),
             cache_json(shared.spec_cache.stats()),
             cache_json(shared.trace_cache.stats()),
             journal
@@ -654,77 +819,19 @@ fn stats(shared: &Arc<Shared>) -> Response {
     )
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
-    loop {
-        let id = {
-            let mut queue = shared.queue.lock().unwrap();
-            loop {
-                if let Some(id) = queue.pop_front() {
-                    break id;
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                queue = shared.queue_cv.wait(queue).unwrap();
-            }
-        };
-        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
-        run_job(shared, id);
-        shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
-        shared.completed.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-fn run_job(shared: &Arc<Shared>, id: u64) {
-    let Some(record) = shared.jobs.lock().unwrap().get(&id).cloned() else { return };
-    let Some(work) = record.pending.lock().unwrap().take() else { return };
-    record.state.lock().unwrap().status = JobStatus::Running;
-
-    let mut job = Job::new(work.spec).with_config(work.config);
-    job.cancel = record.cancel.clone();
-    // The server-wide job-time ceiling applies even when the
-    // submission asked for no deadline at all.
-    let deadline = match (work.deadline, shared.cfg.max_job_time) {
-        (Some(requested), Some(cap)) => Some(requested.min(cap)),
-        (None, cap) => cap,
-        (requested, None) => requested,
-    };
-    if let Some(deadline) = deadline {
-        job = job.with_deadline(deadline);
-    }
-    if let Some(steps) = work.step_budget {
-        job = job.with_step_budget(steps);
-    }
-    let sink_record = record.clone();
-    let outcome = shared.engine.run_with_events(&job, &mut |event| {
-        sink_record.state.lock().unwrap().events.push(event.to_json());
-    });
-
-    let names = job.spec.problem.extended_names();
-    {
-        let mut st = record.state.lock().unwrap();
-        st.status = JobStatus::Done;
-        st.valid = outcome.valid;
-        st.stopped = outcome.stopped.map(|r| r.as_str().to_string());
-        st.cegis_rounds = outcome.cegis_rounds_used as u64;
-        st.seconds = outcome.runtime.as_secs_f64();
-        st.invariants = outcome
-            .loops
-            .iter()
-            .map(|li| InvariantOut {
-                loop_id: li.loop_id as u64,
-                formula: li.formula.display(&names).to_string(),
-                attempts: li.attempts as u64,
-            })
-            .collect();
-    }
-    if let Some(journal) = &shared.journal {
-        let line = format!(r#"{{"type":"job",{}}}"#, record.body_json());
-        if let Err(e) = journal.append(&line) {
-            eprintln!("[gcln-serve] journal append failed for {}: {e}", record.api_id());
-        }
-    }
-    evict_completed(&mut shared.jobs.lock().unwrap(), shared.cfg.max_retained_jobs);
+/// `GET /metrics`: Prometheus text exposition (see [`crate::metrics`]).
+fn metrics(shared: &Arc<Shared>) -> Response {
+    let text = crate::metrics::render(
+        &shared.sched.metrics(),
+        shared.spec_cache.stats(),
+        shared.trace_cache.stats(),
+        crate::metrics::ServeCounters {
+            rate_limited: shared.rate_limited.load(Ordering::Relaxed),
+            journal_compactions: shared.compactions.load(Ordering::Relaxed),
+            jobs_admitted: shared.admitted.load(Ordering::Relaxed),
+        },
+    );
+    Response::text(200, text)
 }
 
 /// Drops the oldest completed records beyond `max_retained` — each
@@ -782,8 +889,8 @@ fn replay_record(v: &Json) -> Option<JobRecord> {
             .and_then(Json::as_str)
             .and_then(|h| u64::from_str_radix(h, 16).ok())
             .unwrap_or(0),
+        priority: v.get("priority").and_then(Json::as_f64).map_or(0, |p| p as i32),
         cancel: CancelToken::new(),
-        pending: Mutex::new(None),
         state: Mutex::new(JobState {
             status: JobStatus::Done,
             valid: v.get("valid").and_then(Json::as_bool).unwrap_or(false),
@@ -843,8 +950,8 @@ mod tests {
                 id,
                 name: "x".into(),
                 source_hash: 0,
+                priority: 0,
                 cancel: CancelToken::new(),
-                pending: Mutex::new(None),
                 state: Mutex::new(JobState {
                     status,
                     valid: false,

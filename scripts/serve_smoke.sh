@@ -82,6 +82,22 @@ status, stats = call("GET", "/stats")
 assert status == 200 and stats["jobs"]["done"] >= 1, stats
 print("serve smoke: stats", json.dumps(stats["jobs"]))
 
+# Prometheus exposition: scheduler stage histograms and cache series.
+req = urllib.request.Request(base + "/metrics")
+with urllib.request.urlopen(req, timeout=30) as resp:
+    assert resp.status == 200, resp.status
+    ctype = resp.headers.get("content-type", "")
+    assert ctype.startswith("text/plain"), ctype
+    metrics = resp.read().decode()
+for needle in (
+    'gcln_sched_task_duration_seconds_count{kind="train"}',
+    "gcln_sched_queue_wait_seconds_bucket",
+    "gcln_sched_worker_utilization",
+    'gcln_serve_cache_requests_total{cache="spec",result="miss"}',
+):
+    assert needle in metrics, f"missing metrics series: {needle}"
+print("serve smoke: /metrics exposes scheduler histograms")
+
 status, bye = call("POST", "/shutdown")
 assert status == 200 and bye["ok"], bye
 print("serve smoke: shutdown requested")

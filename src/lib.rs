@@ -14,6 +14,8 @@
 //! - [`gcln_problems`] — the 27-problem NLA nonlinear benchmark and the
 //!   124-problem linear suite.
 //! - [`gcln_checker`] — the invariant checker (Z3 substitute).
+//! - [`gcln_sched`] — the stage-graph scheduler interleaving many jobs
+//!   across one shared worker pool.
 
 pub use gcln;
 pub use gcln_baselines;
@@ -23,5 +25,6 @@ pub use gcln_lang;
 pub use gcln_logic;
 pub use gcln_numeric;
 pub use gcln_problems;
+pub use gcln_sched;
 pub use gcln_serve;
 pub use gcln_tensor;

@@ -143,6 +143,27 @@ impl Criterion {
         self.results.push(est);
     }
 
+    /// Records an externally computed estimate (e.g. a derived metric
+    /// such as a simulated makespan) as a first-class snapshot row:
+    /// printed, written to `target/criterion-shim/`, and aggregated by
+    /// `scripts/bench_snapshot.sh` like any timed benchmark. Respects
+    /// the name filter.
+    pub fn record_external(&mut self, est: Estimate) {
+        if let Some(filter) = &self.filter {
+            if !est.name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        println!(
+            "{:<40} recorded: {} ({} sample(s), external)",
+            est.name,
+            fmt_ns(est.median_ns),
+            est.samples
+        );
+        write_estimate(&est);
+        self.results.push(est);
+    }
+
     /// Prints the closing summary (called by `criterion_main!`).
     pub fn final_summary(&self) {
         println!("\n{} benchmark(s) complete", self.results.len());

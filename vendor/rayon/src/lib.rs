@@ -67,6 +67,37 @@ impl Drop for BudgetGuard {
     }
 }
 
+/// A best-effort reservation in the global worker budget, held by an
+/// *external* worker thread (e.g. a `gcln-sched` pool worker) while it
+/// executes work that may fan out through this shim. While held, inner
+/// fan-outs see a correspondingly smaller budget, so a dedicated pool
+/// plus nested `par_iter` calls cannot oversubscribe the machine to
+/// `pool × ncpu` threads. Dropping the slot returns it.
+///
+/// Best-effort: when the budget is already spent the slot is empty
+/// ([`ExternalWorkerSlot::reserved`] is `false`) and the caller simply
+/// proceeds — external workers are real threads either way.
+pub struct ExternalWorkerSlot(usize);
+
+impl ExternalWorkerSlot {
+    /// Whether a budget slot was actually obtained.
+    pub fn reserved(&self) -> bool {
+        self.0 > 0
+    }
+}
+
+impl Drop for ExternalWorkerSlot {
+    fn drop(&mut self) {
+        ACTIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+    }
+}
+
+/// Reserves one slot of the global worker budget for an external worker
+/// thread. See [`ExternalWorkerSlot`].
+pub fn reserve_external_worker() -> ExternalWorkerSlot {
+    ExternalWorkerSlot(reserve_workers(1, current_num_threads()))
+}
+
 /// Order-preserving dynamic-scheduled parallel map; the execution core of
 /// every combinator in this shim.
 fn par_map_vec<T: Send, U: Send>(items: Vec<T>, f: &(impl Fn(T) -> U + Sync)) -> Vec<U> {
@@ -327,6 +358,24 @@ mod tests {
         // And the pool must still parallelize afterwards.
         let out: Vec<usize> = (0..100usize).into_par_iter().map(|x| x + 1).collect();
         assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn external_worker_slots_shrink_the_budget_and_release() {
+        let _gate = GATE.lock().unwrap();
+        let cap = super::current_num_threads();
+        let slots: Vec<super::ExternalWorkerSlot> =
+            (0..cap).map(|_| super::reserve_external_worker()).collect();
+        assert!(slots.iter().all(super::ExternalWorkerSlot::reserved));
+        // Budget spent: further reservations are empty, fan-outs still
+        // produce correct (serial) results.
+        let extra = super::reserve_external_worker();
+        assert!(!extra.reserved());
+        let out: Vec<usize> = (0..16usize).into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out[15], 45);
+        drop(extra);
+        drop(slots);
+        assert_eq!(super::ACTIVE_WORKERS.load(std::sync::atomic::Ordering::Relaxed), 0);
     }
 
     #[test]
