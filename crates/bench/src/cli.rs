@@ -14,7 +14,12 @@
 //! gcln fig <1|2|4|6|7|8|10> [args]
 //! gcln inspect <problem> [--bounds]
 //! gcln serve [--port P] [--workers N] [--queue-cap N] [--journal PATH] [--rate-limit RPS]
+//!            [--journal-fsync always|never] [--faults SPEC]
 //! ```
+//!
+//! `--faults` (or the `GCLN_FAULTS` environment variable) arms
+//! deterministic fault injection for chaos testing, e.g.
+//! `seed=42,sched.task_panic=0.1,journal.torn_write=0.05:3`.
 //!
 //! Exit codes: `0` success, `1` usage/parse errors, `2` the checker
 //! rejected (or the job stopped early) on `gcln run`, `3` a suite run
@@ -36,7 +41,8 @@ const USAGE: &str = "usage: gcln <run|suite|table1|table2|table3|table4|code2inv
   code2inv             [--limit N] [--json] [--expect N] [--workers N]
   fig <1|2|4|6|7|8|10> [args]
   inspect <problem>    [--bounds]
-  serve                [--port P] [--workers N] [--queue-cap N] [--journal PATH] [--rate-limit RPS]";
+  serve                [--port P] [--workers N] [--queue-cap N] [--journal PATH] [--rate-limit RPS]
+                       [--journal-fsync always|never] [--faults SPEC]";
 
 /// Parsed common flags; non-flag arguments are collected in order.
 #[derive(Debug, Default)]
@@ -57,6 +63,8 @@ struct Flags {
     queue_cap: Option<usize>,
     journal: Option<String>,
     rate_limit: Option<f64>,
+    journal_fsync: Option<String>,
+    faults: Option<String>,
     rest: Vec<String>,
 }
 
@@ -120,6 +128,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     Some(num("--queue-cap")?.parse().map_err(|_| "--queue-cap needs an integer")?)
             }
             "--journal" => f.journal = Some(num("--journal")?),
+            "--journal-fsync" => {
+                let policy = num("--journal-fsync")?;
+                if policy != "always" && policy != "never" {
+                    return Err(format!("--journal-fsync takes always|never (got `{policy}`)"));
+                }
+                f.journal_fsync = Some(policy);
+            }
+            "--faults" => f.faults = Some(num("--faults")?),
             "--rate-limit" => {
                 let rps: f64 = num("--rate-limit")?
                     .parse()
@@ -158,6 +174,8 @@ impl Flags {
             ("--queue-cap", self.queue_cap.is_some()),
             ("--journal", self.journal.is_some()),
             ("--rate-limit", self.rate_limit.is_some()),
+            ("--journal-fsync", self.journal_fsync.is_some()),
+            ("--faults", self.faults.is_some()),
         ];
         for (name, used) in set {
             if *used && !allowed.contains(name) {
@@ -189,7 +207,15 @@ pub fn main_with_args(args: &[String]) -> i32 {
         "table4" => &["--runs"],
         "code2inv" => &["--limit", "--json", "--expect", "--workers"],
         "inspect" => &["--bounds"],
-        "serve" => &["--port", "--workers", "--queue-cap", "--journal", "--rate-limit"],
+        "serve" => &[
+            "--port",
+            "--workers",
+            "--queue-cap",
+            "--journal",
+            "--rate-limit",
+            "--journal-fsync",
+            "--faults",
+        ],
         _ => &[],
     };
     if let Err(e) = flags.check_allowed(cmd, allowed) {
@@ -426,22 +452,46 @@ fn cmd_serve(flags: &Flags) -> i32 {
         eprintln!("error: serve takes no positional arguments (got `{stray}`; use --port)\n{USAGE}");
         return 1;
     }
+    // `--faults` wins; the GCLN_FAULTS environment variable is the
+    // fallback so chaos harnesses can arm injection without touching
+    // the command line.
+    let faults = match &flags.faults {
+        Some(spec) => gcln_serve::Faults::parse(spec),
+        None => gcln_serve::Faults::from_env("GCLN_FAULTS"),
+    };
+    let faults = match faults {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: bad fault plan: {e}");
+            return 1;
+        }
+    };
+    let journal_fsync = match flags.journal_fsync.as_deref() {
+        Some("always") => gcln_serve::FsyncPolicy::Always,
+        _ => gcln_serve::FsyncPolicy::Never,
+    };
     let config = gcln_serve::ServeConfig {
         port: flags.port.unwrap_or(8080),
         workers: flags.workers.unwrap_or(2),
         queue_cap: flags.queue_cap.unwrap_or(16),
         journal: flags.journal.clone().map(std::path::PathBuf::from),
         rate_limit: flags.rate_limit.map(gcln_serve::RateLimit::per_sec),
+        journal_fsync,
+        faults,
         ..gcln_serve::ServeConfig::default()
     };
     let journal_note = match &config.journal {
         Some(path) => format!(" journal={}", path.display()),
         None => String::new(),
     };
+    let faults_note = match config.faults.seed() {
+        Some(seed) => format!(" faults-seed={seed}"),
+        None => String::new(),
+    };
     match gcln_serve::start(config.clone()) {
         Ok(handle) => {
             println!(
-                "gcln-serve listening on {} (workers={} queue-cap={}{journal_note})",
+                "gcln-serve listening on {} (workers={} queue-cap={}{journal_note}{faults_note})",
                 handle.local_addr(),
                 config.workers,
                 config.queue_cap
@@ -496,6 +546,35 @@ mod tests {
         assert_eq!(f.journal.as_deref(), Some("j.jsonl"));
         let args: Vec<String> = ["--port", "70000"].iter().map(|s| s.to_string()).collect();
         assert!(parse_flags(&args).unwrap_err().contains("port"));
+    }
+
+    #[test]
+    fn fault_injection_flags_parse_and_validate() {
+        let args: Vec<String> = [
+            "--faults",
+            "seed=42,sched.task_panic=0.5:2",
+            "--journal-fsync",
+            "always",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.faults.as_deref(), Some("seed=42,sched.task_panic=0.5:2"));
+        assert_eq!(f.journal_fsync.as_deref(), Some("always"));
+        let args: Vec<String> =
+            ["--journal-fsync", "sometimes"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).unwrap_err().contains("always|never"));
+        // Fault flags are serve-only.
+        assert_eq!(
+            main_with_args(&["run".into(), "--faults".into(), "seed=1".into()]),
+            1
+        );
+        // A malformed --faults spec must fail loudly, not arm nothing.
+        assert_eq!(
+            main_with_args(&["serve".into(), "--faults".into(), "seed=1,bogus.site=1".into()]),
+            1
+        );
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub enum StopReason {
     DeadlineExceeded,
     /// The job's step budget (training attempts + checker calls) ran out.
     BudgetExhausted,
+    /// A stage task panicked; the job was isolated and failed with a
+    /// partial outcome (events up to the panic intact).
+    TaskPanicked,
+    /// The spec's circuit breaker was open — tasks for this spec hash
+    /// panicked repeatedly — so the job failed fast without running.
+    Quarantined,
 }
 
 impl StopReason {
@@ -63,6 +69,8 @@ impl StopReason {
             StopReason::Cancelled => "cancelled",
             StopReason::DeadlineExceeded => "deadline_exceeded",
             StopReason::BudgetExhausted => "budget_exhausted",
+            StopReason::TaskPanicked => "task_panicked",
+            StopReason::Quarantined => "quarantined",
         }
     }
 }

@@ -61,6 +61,7 @@ pub mod terms;
 
 pub use cache::{CacheStats, TraceCache, TraceData};
 pub use events::{Event, Stage, StopReason};
+pub use gcln_checker::CheckReport;
 pub use model::{GclnConfig, TrainedGcln};
 pub use run::{
     CancelToken, Engine, InferenceOutcome, Job, LoopInference, PipelineConfig,

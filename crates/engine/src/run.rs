@@ -288,12 +288,29 @@ impl Engine {
             }
             match step {
                 crate::staged::Step::Run(tasks) => {
-                    let done: Vec<crate::staged::CompletedTask> = tasks
+                    // Each task runs under `catch_unwind`: a panicking
+                    // stage must fail *this job* with a structured
+                    // `task_panicked` outcome, not unwind through the
+                    // rayon pool and poison unrelated callers.
+                    let done: Vec<_> = tasks
                         .into_par_iter()
-                        .map(crate::staged::Task::execute)
+                        .map(|t| {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.execute()))
+                        })
                         .collect();
+                    let mut panicked = false;
                     for d in done {
-                        staged.complete(d);
+                        match d {
+                            Ok(c) => staged.complete(c),
+                            Err(_) => panicked = true,
+                        }
+                    }
+                    if panicked {
+                        let outcome = staged.abort(StopReason::TaskPanicked);
+                        for event in staged.take_events() {
+                            sink(&event);
+                        }
+                        return *outcome;
                     }
                 }
                 crate::staged::Step::Done(outcome) => return *outcome,

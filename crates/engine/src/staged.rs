@@ -661,6 +661,39 @@ impl StagedJob {
         }
     }
 
+    /// Terminates the job immediately with `reason`, regardless of
+    /// outstanding tasks: the driver calls this when a stage task
+    /// panicked (its result can never arrive, so the normal
+    /// `complete`/`advance` cycle would deadlock). Emits `JobStopped` +
+    /// `JobFinished` and returns the partial outcome — loops, report,
+    /// and events as of the last completed stage. The machine lands in
+    /// `Done`; results of still-running sibling tasks must be dropped,
+    /// not fed back.
+    ///
+    /// If a stop reason was already flagged (e.g. the job was cancelled
+    /// before the panic), the earlier reason wins — same first-cause
+    /// rule as the cooperative stop path.
+    pub fn abort(&mut self, reason: StopReason) -> Box<InferenceOutcome> {
+        self.flag(reason);
+        self.emit(Event::JobFinished {
+            valid: false,
+            cegis_rounds: self.rounds_used,
+            ms: self.start.elapsed().as_secs_f64() * 1e3,
+        });
+        self.phase = Phase::Done;
+        self.outstanding = 0;
+        self.inbox.clear();
+        Box::new(InferenceOutcome {
+            loops: self.loops.clone(),
+            valid: false,
+            cegis_rounds_used: self.rounds_used,
+            runtime: self.start.elapsed(),
+            report: self.report.clone(),
+            stopped: self.stopped,
+            events: self.events.clone(),
+        })
+    }
+
     // --- stage transitions ---
 
     /// Cegis stage: counterexample feedback — add reachable
@@ -1044,5 +1077,35 @@ mod tests {
         let mut staged = StagedJob::new(&engine, &job);
         let Step::Run(_tasks) = staged.advance() else { panic!("expected tasks") };
         let _ = staged.advance();
+    }
+
+    /// `abort` mid-flight — tasks outstanding, results never coming —
+    /// still yields a structured partial outcome: `task_panicked`
+    /// reason, events up to the abort plus `JobStopped`/`JobFinished`,
+    /// and a machine parked in `Done`.
+    #[test]
+    fn abort_with_outstanding_tasks_yields_partial_outcome() {
+        let engine = Engine::new();
+        let job = quick_job();
+        let mut staged = StagedJob::new(&engine, &job);
+        let Step::Run(tasks) = staged.advance() else { panic!("expected tasks") };
+        // Simulate a panicked batch: drop the tasks without completing.
+        let n = tasks.len();
+        drop(tasks);
+        assert_eq!(staged.outstanding(), n);
+        let outcome = staged.abort(StopReason::TaskPanicked);
+        assert_eq!(outcome.stopped, Some(StopReason::TaskPanicked));
+        assert!(!outcome.valid);
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::JobStopped { reason: StopReason::TaskPanicked })));
+        assert!(matches!(outcome.events.last(), Some(Event::JobFinished { .. })));
+        assert_eq!(staged.outstanding(), 0);
+        // An earlier flagged reason wins over the abort reason.
+        let mut staged = StagedJob::new(&engine, &job);
+        staged.flag(StopReason::Cancelled);
+        let outcome = staged.abort(StopReason::TaskPanicked);
+        assert_eq!(outcome.stopped, Some(StopReason::Cancelled));
     }
 }

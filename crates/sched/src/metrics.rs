@@ -75,6 +75,9 @@ pub struct Metrics {
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
     tasks_executed: AtomicU64,
+    tasks_retried: AtomicU64,
+    tasks_panicked: AtomicU64,
+    jobs_quarantined: AtomicU64,
     queue_wait: Mutex<Histogram>,
     /// Task execution latency per stage kind (label = `TaskKind::as_str`
     /// or `"whole"` for job-granularity submissions).
@@ -90,6 +93,9 @@ impl Metrics {
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             tasks_executed: AtomicU64::new(0),
+            tasks_retried: AtomicU64::new(0),
+            tasks_panicked: AtomicU64::new(0),
+            jobs_quarantined: AtomicU64::new(0),
             queue_wait: Mutex::new(Histogram::default()),
             tasks: Mutex::new(HashMap::new()),
         }
@@ -101,6 +107,18 @@ impl Metrics {
 
     pub(crate) fn job_completed(&self) {
         self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn task_retried(&self) {
+        self.tasks_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn task_panicked(&self) {
+        self.tasks_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn job_quarantined(&self) {
+        self.jobs_quarantined.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn observe_queue_wait(&self, wait: Duration) {
@@ -130,6 +148,9 @@ impl Metrics {
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            tasks_retried: self.tasks_retried.load(Ordering::Relaxed),
+            tasks_panicked: self.tasks_panicked.load(Ordering::Relaxed),
+            jobs_quarantined: self.jobs_quarantined.load(Ordering::Relaxed),
             queue_wait: self.queue_wait.lock().unwrap().snapshot(),
             tasks,
         }
@@ -151,6 +172,13 @@ pub struct MetricsSnapshot {
     pub jobs_completed: u64,
     /// Tasks executed (all kinds, including whole-job runs).
     pub tasks_executed: u64,
+    /// Stage tasks re-enqueued after a transient (injected) fault.
+    pub tasks_retried: u64,
+    /// Stage tasks that failed their job permanently by panicking
+    /// (genuine panics, plus injected panics past the retry budget).
+    pub tasks_panicked: u64,
+    /// Jobs failed fast by the spec-hash circuit breaker.
+    pub jobs_quarantined: u64,
     /// Time tasks spent in the ready queue before a worker picked them.
     pub queue_wait: HistogramSnapshot,
     /// Execution latency per task kind, sorted by kind label.

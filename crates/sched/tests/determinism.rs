@@ -111,6 +111,46 @@ fn batch_outcomes_and_event_streams_are_bit_identical_at_any_worker_count() {
 }
 
 #[test]
+fn aggressive_aging_preserves_bit_identical_outcomes_at_any_worker_count() {
+    // Aging only reorders *which* job a worker serves next; it must never
+    // leak into job results. Interval 1 is the most aggressive setting —
+    // every passed-over job climbs on every pop — and spread-out static
+    // priorities maximize the reordering it causes.
+    let engine = Engine::new();
+    let reference: Vec<_> = batch().iter().map(|job| engine.run(job)).collect();
+
+    for workers in [1usize, 2, 8] {
+        let cfg = SchedConfig { aging_interval: Some(1), ..SchedConfig::with_workers(workers) };
+        let sched = Scheduler::new(cfg);
+        let tickets: Vec<_> = batch()
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let priority = (i as i32) * 2 - 4; // -4, -2, 0, 2, 4
+                sched.submit_with(job, SubmitOptions::priority(priority), None, None)
+            })
+            .collect();
+        let outcomes: Vec<_> = tickets.iter().map(|t| t.wait()).collect();
+        sched.shutdown();
+
+        for (i, (outcome, solo)) in outcomes.iter().zip(&reference).enumerate() {
+            let tag = format!("aging=1 workers={workers} job#{i}");
+            assert_eq!(outcome.valid, solo.valid, "{tag}");
+            assert_eq!(outcome.stopped, solo.stopped, "{tag}");
+            for (a, b) in outcome.loops.iter().zip(&solo.loops) {
+                assert_eq!(a.formula, b.formula, "{tag}");
+                assert_eq!(a.attempts, b.attempts, "{tag}");
+            }
+            assert_eq!(
+                strip_ms(&outcome.events),
+                strip_ms(&solo.events),
+                "{tag}: aging perturbed the event stream"
+            );
+        }
+    }
+}
+
+#[test]
 fn cancelling_one_job_mid_batch_leaves_the_others_bit_identical() {
     let engine = Engine::new();
     let reference: Vec<_> = batch().iter().map(|job| engine.run(job)).collect();

@@ -84,6 +84,8 @@ impl HttpError {
 /// - 400 — malformed request line/headers, truncated stream, bad
 ///   `Content-Length`
 /// - 405-compatible method charset violations also yield 400
+/// - 408 — the source's read timeout expired mid-request (a slowloris
+///   peer dribbling bytes slower than the socket timeout)
 /// - 413 — declared body larger than [`Limits::max_body_bytes`]
 /// - 431 — head larger than [`Limits::max_head_bytes`]
 /// - 501 — `Transfer-Encoding` (chunked bodies are not supported)
@@ -104,7 +106,7 @@ pub fn read_request(src: &mut impl Read, limits: &Limits) -> Result<Option<Reque
             return Err(HttpError::new(431, "request head too large"));
         }
         let mut chunk = [0u8; 1024];
-        let n = src.read(&mut chunk).map_err(|e| HttpError::new(400, format!("read: {e}")))?;
+        let n = src.read(&mut chunk).map_err(read_error)?;
         if n == 0 {
             if buf.is_empty() {
                 return Ok(None);
@@ -175,15 +177,26 @@ pub fn read_request(src: &mut impl Read, limits: &Limits) -> Result<Option<Reque
     while body.len() < content_length {
         let mut chunk = [0u8; 4096];
         let want = (content_length - body.len()).min(chunk.len());
-        let n = src
-            .read(&mut chunk[..want])
-            .map_err(|e| HttpError::new(400, format!("read: {e}")))?;
+        let n = src.read(&mut chunk[..want]).map_err(read_error)?;
         if n == 0 {
             return Err(HttpError::new(400, "truncated request body"));
         }
         body.extend_from_slice(&chunk[..n]);
     }
     Ok(Some(request(body)))
+}
+
+/// Maps a source read failure to its HTTP status: socket timeouts
+/// (`TimedOut` on Unix, `WouldBlock` from `set_read_timeout` on some
+/// platforms) are the peer's fault and answer 408; anything else is a
+/// generic 400.
+fn read_error(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            HttpError::new(408, "timed out reading the request")
+        }
+        _ => HttpError::new(400, format!("read: {e}")),
+    }
 }
 
 /// Byte offset of the end of the head (exclusive of the blank line), or
@@ -295,6 +308,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
@@ -356,6 +370,47 @@ mod tests {
             let err = parse(bytes).unwrap_err();
             assert_eq!(err.status, status, "{:?} -> {err:?}", String::from_utf8_lossy(bytes));
         }
+    }
+
+    #[test]
+    fn a_read_timeout_mid_request_maps_to_408() {
+        // A slowloris peer: a few bytes arrive, then the socket's read
+        // timeout fires (surfaced by the OS as TimedOut/WouldBlock).
+        struct Slowloris {
+            sent: bool,
+        }
+        impl Read for Slowloris {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.sent {
+                    return Err(std::io::Error::from(std::io::ErrorKind::TimedOut));
+                }
+                self.sent = true;
+                let bytes = b"POST /jobs HT";
+                buf[..bytes.len()].copy_from_slice(bytes);
+                Ok(bytes.len())
+            }
+        }
+        let err =
+            read_request(&mut Slowloris { sent: false }, &Limits::default()).unwrap_err();
+        assert_eq!(err.status, 408);
+        assert_eq!(reason(408), "Request Timeout");
+        // Same mapping when the timeout hits mid-body.
+        struct BodyStall {
+            fed: bool,
+        }
+        impl Read for BodyStall {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.fed {
+                    return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+                }
+                self.fed = true;
+                let bytes = b"POST /jobs HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
+                buf[..bytes.len()].copy_from_slice(bytes);
+                Ok(bytes.len())
+            }
+        }
+        let err = read_request(&mut BodyStall { fed: false }, &Limits::default()).unwrap_err();
+        assert_eq!(err.status, 408);
     }
 
     #[test]

@@ -34,8 +34,9 @@
 //!   [`gcln_engine::ProblemSpec::from_source_str`]. (The Trace-stage
 //!   cache lives engine-side in [`gcln_engine::cache`]; the server
 //!   wires one into its shared engine.)
-//! - [`journal`] — JSON-lines persistence of completed jobs, with
-//!   size-triggered compaction for long-lived servers.
+//! - [`journal`] — crash-safe persistence: length+CRC framed records
+//!   (admissions and completions), recovery that truncates corrupt
+//!   tails, and size-triggered compaction for long-lived servers.
 //! - [`limiter`] — the per-client token-bucket rate limiter; remaining
 //!   allowance doubles as scheduler priority.
 //! - [`metrics`] — Prometheus text rendering of the scheduler snapshot.
@@ -49,6 +50,21 @@
 //! source twice — concurrently, across cache hits, or across a server
 //! restart — yields identical invariants and identical event streams
 //! modulo the wall-clock `ms` timing fields.
+//!
+//! ## Failure model
+//!
+//! Admission is durable: when a journal is configured, `POST /jobs`
+//! appends an `{"type":"admitted"}` record *before* answering `202`
+//! (a failed append rolls the admission back as a `503`). A restarted
+//! server replays completed results and **resubmits** every admitted
+//! job that never journaled a completion — inference is deterministic,
+//! so the recomputed result is the one the client would have read. A
+//! panicking stage task fails only its own job (`stopped:
+//! "task_panicked"` after bounded retries), repeated panics on the same
+//! spec hash trip a circuit breaker (`stopped: "quarantined"`), and
+//! socket timeouts bound how long a slowloris peer can hold a
+//! connection (`408`). The whole surface is exercised by deterministic
+//! fault injection ([`Faults`]) — see `scripts/chaos_smoke.sh`.
 
 pub mod cache;
 pub mod client;
@@ -60,8 +76,9 @@ pub mod metrics;
 pub mod server;
 
 pub use cache::SpecCache;
+pub use gcln_faults::Faults;
 pub use http::{HttpError, Limits, Request, Response};
-pub use journal::Journal;
+pub use journal::{FsyncPolicy, Journal};
 pub use json::{Json, JsonError};
 pub use limiter::{RateLimit, RateLimiter};
 pub use server::{start, ServeConfig, ServerHandle};

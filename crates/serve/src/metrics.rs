@@ -11,10 +11,18 @@
 //! - `gcln_sched_worker_utilization` — gauge, busy ÷ (uptime × workers).
 //! - `gcln_sched_workers`, `gcln_sched_jobs_total{state=…}`,
 //!   `gcln_sched_tasks_executed_total` — pool shape and volume.
+//! - `gcln_sched_task_retries_total`, `gcln_sched_task_panics_total`,
+//!   `gcln_sched_jobs_quarantined_total` — fault-tolerance volume:
+//!   transient faults retried, permanent task panics, and jobs failed
+//!   fast by the circuit breaker.
 //! - `gcln_serve_cache_requests_total{cache=…,result=…}` and
 //!   `gcln_serve_cache_entries{cache=…}` — spec/trace cache hit ratios.
 //! - `gcln_serve_jobs_admitted_total`, `gcln_serve_rate_limited_total`,
 //!   `gcln_serve_journal_compactions_total` — service counters.
+//! - `gcln_serve_journal_skipped_lines_total`,
+//!   `gcln_serve_journal_resubmitted_total` — journal recovery: corrupt
+//!   records dropped at open, and admitted-but-incomplete jobs
+//!   resubmitted after a restart.
 
 use gcln_engine::cache::CacheStats;
 use gcln_sched::metrics::{HistogramSnapshot, MetricsSnapshot, BUCKET_BOUNDS};
@@ -29,6 +37,11 @@ pub struct ServeCounters {
     pub journal_compactions: u64,
     /// Jobs admitted by this process.
     pub jobs_admitted: u64,
+    /// Corrupt journal records dropped at open (torn tails, checksum
+    /// mismatches, unparseable payloads).
+    pub journal_skipped_lines: u64,
+    /// Admitted-but-incomplete journal records resubmitted at startup.
+    pub journal_resubmitted: u64,
 }
 
 fn render_histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
@@ -81,6 +94,15 @@ pub fn render(
     let _ = writeln!(o, "gcln_sched_jobs_total{{state=\"completed\"}} {}", sched.jobs_completed);
     let _ = writeln!(o, "# TYPE gcln_sched_tasks_executed_total counter");
     let _ = writeln!(o, "gcln_sched_tasks_executed_total {}", sched.tasks_executed);
+    let _ = writeln!(o, "# HELP gcln_sched_task_retries_total Stage tasks re-enqueued after a transient fault.");
+    let _ = writeln!(o, "# TYPE gcln_sched_task_retries_total counter");
+    let _ = writeln!(o, "gcln_sched_task_retries_total {}", sched.tasks_retried);
+    let _ = writeln!(o, "# HELP gcln_sched_task_panics_total Stage tasks that failed their job permanently by panicking.");
+    let _ = writeln!(o, "# TYPE gcln_sched_task_panics_total counter");
+    let _ = writeln!(o, "gcln_sched_task_panics_total {}", sched.tasks_panicked);
+    let _ = writeln!(o, "# HELP gcln_sched_jobs_quarantined_total Jobs failed fast by the spec-hash circuit breaker.");
+    let _ = writeln!(o, "# TYPE gcln_sched_jobs_quarantined_total counter");
+    let _ = writeln!(o, "gcln_sched_jobs_quarantined_total {}", sched.jobs_quarantined);
 
     let _ = writeln!(o, "# HELP gcln_serve_cache_requests_total Spec/trace cache lookups by result.");
     let _ = writeln!(o, "# TYPE gcln_serve_cache_requests_total counter");
@@ -105,6 +127,10 @@ pub fn render(
     let _ = writeln!(o, "gcln_serve_rate_limited_total {}", counters.rate_limited);
     let _ = writeln!(o, "# TYPE gcln_serve_journal_compactions_total counter");
     let _ = writeln!(o, "gcln_serve_journal_compactions_total {}", counters.journal_compactions);
+    let _ = writeln!(o, "# TYPE gcln_serve_journal_skipped_lines_total counter");
+    let _ = writeln!(o, "gcln_serve_journal_skipped_lines_total {}", counters.journal_skipped_lines);
+    let _ = writeln!(o, "# TYPE gcln_serve_journal_resubmitted_total counter");
+    let _ = writeln!(o, "gcln_serve_journal_resubmitted_total {}", counters.journal_resubmitted);
     out
 }
 
@@ -122,7 +148,13 @@ mod tests {
             &snapshot,
             CacheStats { hits: 3, misses: 1, entries: 1 },
             CacheStats { hits: 0, misses: 2, entries: 2 },
-            ServeCounters { rate_limited: 5, journal_compactions: 1, jobs_admitted: 9 },
+            ServeCounters {
+                rate_limited: 5,
+                journal_compactions: 1,
+                jobs_admitted: 9,
+                journal_skipped_lines: 2,
+                journal_resubmitted: 1,
+            },
         );
         // Histogram invariants: a +Inf bucket per histogram, sum/count
         // lines, and every sample line is `name{labels} value`.
@@ -131,6 +163,11 @@ mod tests {
         assert!(text.contains("gcln_serve_cache_requests_total{cache=\"spec\",result=\"hit\"} 3"));
         assert!(text.contains("gcln_serve_rate_limited_total 5"));
         assert!(text.contains("gcln_serve_journal_compactions_total 1"));
+        assert!(text.contains("gcln_sched_task_retries_total 0"));
+        assert!(text.contains("gcln_sched_task_panics_total 0"));
+        assert!(text.contains("gcln_sched_jobs_quarantined_total 0"));
+        assert!(text.contains("gcln_serve_journal_skipped_lines_total 2"));
+        assert!(text.contains("gcln_serve_journal_resubmitted_total 1"));
         for line in text.lines() {
             if line.starts_with('#') || line.is_empty() {
                 continue;

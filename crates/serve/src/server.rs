@@ -35,8 +35,9 @@
 
 use crate::cache::SpecCache;
 use crate::http::{read_request, Limits, Request, Response};
-use crate::journal::Journal;
+use crate::journal::{FsyncPolicy, Journal};
 use crate::json::Json;
+use gcln_faults::{site, Faults};
 use crate::limiter::{Admission, RateLimit, RateLimiter};
 use gcln_engine::cache::TraceCache;
 use gcln_engine::events::json_string;
@@ -86,6 +87,18 @@ pub struct ServeConfig {
     pub max_job_time: Option<Duration>,
     /// HTTP parser limits.
     pub limits: Limits,
+    /// Socket read timeout per connection (slowloris guard — a peer
+    /// dribbling a request slower than this gets a 408).
+    /// `Duration::ZERO` disables the timeout.
+    pub read_timeout: Duration,
+    /// Socket write timeout per connection. `Duration::ZERO` disables.
+    pub write_timeout: Duration,
+    /// Whether `append`ed journal records are fsynced individually.
+    pub journal_fsync: FsyncPolicy,
+    /// Deterministic fault injection plan, threaded into the scheduler
+    /// (task panics), the journal (torn writes, bit flips), and the
+    /// connection path (resets, stalls). Disabled by default.
+    pub faults: Faults,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +114,10 @@ impl Default for ServeConfig {
             max_retained_jobs: 4096,
             max_job_time: Some(Duration::from_secs(600)),
             limits: Limits::default(),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            journal_fsync: FsyncPolicy::Never,
+            faults: Faults::disabled(),
         }
     }
 }
@@ -142,6 +159,21 @@ struct JobState {
     events: Vec<String>,
 }
 
+impl JobState {
+    /// A freshly admitted job's state.
+    fn queued() -> JobState {
+        JobState {
+            status: JobStatus::Queued,
+            valid: false,
+            stopped: None,
+            cegis_rounds: 0,
+            seconds: 0.0,
+            invariants: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+}
+
 struct JobRecord {
     id: u64,
     name: String,
@@ -149,6 +181,11 @@ struct JobRecord {
     /// Scheduler priority the job was admitted with (rate-limit
     /// headroom; 0 when rate limiting is off or after replay).
     priority: i32,
+    /// The `{"type":"admitted"}` journal payload this job was admitted
+    /// with — compaction retains it while the job is incomplete, so a
+    /// crash after compaction still resubmits the job on restart.
+    /// `None` for journal-replayed completed records.
+    admit_line: Option<String>,
     cancel: CancelToken,
     state: Mutex<JobState>,
 }
@@ -222,6 +259,8 @@ struct Shared {
     /// Records successfully replayed at startup (fixed; `/stats` must
     /// not re-derive this from the evictable jobs map).
     journal_replayed: usize,
+    /// Admitted-but-incomplete records resubmitted at startup (fixed).
+    journal_resubmitted: usize,
     jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
     admission: Mutex<AdmissionState>,
     next_id: AtomicU64,
@@ -327,52 +366,104 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let local_addr = listener.local_addr()?;
 
     let mut journal = match &cfg.journal {
-        Some(path) => Some(Journal::open(path)?),
+        Some(path) => {
+            let mut j = Journal::open(path)?;
+            j.set_fsync(cfg.journal_fsync);
+            j.set_faults(cfg.faults.clone());
+            Some(j)
+        }
         None => None,
     };
+    let spec_cache = SpecCache::new();
     let mut jobs = HashMap::new();
     let mut next_id = 1;
     let mut journal_rejected = 0;
     let mut journal_replayed = 0;
+    let mut admits: Vec<Json> = Vec::new();
     if let Some(journal) = &mut journal {
         // Drain (not borrow) the parsed records so they drop here —
         // a long journal must not stay resident beyond startup.
         for record in journal.take_replayed() {
-            match replay_record(&record) {
-                Some(r) => {
-                    journal_replayed += 1;
-                    next_id = next_id.max(r.id + 1);
-                    jobs.insert(r.id, Arc::new(r));
-                }
-                None => journal_rejected += 1,
+            match record.get("type").and_then(Json::as_str) {
+                Some("job") => match replay_record(&record) {
+                    Some(r) => {
+                        journal_replayed += 1;
+                        next_id = next_id.max(r.id + 1);
+                        jobs.insert(r.id, Arc::new(r));
+                    }
+                    None => journal_rejected += 1,
+                },
+                Some("admitted") => admits.push(record),
+                _ => journal_rejected += 1,
             }
         }
         evict_completed(&mut jobs, cfg.max_retained_jobs);
     }
+    // Admitted-but-incomplete jobs: the server answered 202 (the admit
+    // record is durable) but crashed before journaling a completion.
+    // Re-derive each submission from its admit record and recompute —
+    // inference is deterministic, so the client reads the same result
+    // it would have gotten. Unusable admit records count as rejected.
+    let mut resubmits = Vec::new();
+    let mut resubmit_ids = std::collections::HashSet::new();
+    for admit in &admits {
+        let Some(p) = parse_admit(admit) else {
+            journal_rejected += 1;
+            continue;
+        };
+        if jobs.contains_key(&p.id) || !resubmit_ids.insert(p.id) {
+            continue; // completed (or already queued for resubmission)
+        }
+        match spec_cache.fetch(&p.source, p.name.as_deref()) {
+            Ok((source_hash, mut spec)) => {
+                spec.apply_overrides(p.max_degree, &[]);
+                next_id = next_id.max(p.id + 1);
+                resubmits.push((p, source_hash, spec, admit.render()));
+            }
+            Err(_) => journal_rejected += 1,
+        }
+    }
+    let journal_resubmitted = resubmits.len();
 
     let trace_cache = Arc::new(TraceCache::new());
     let engine = Engine::new().with_trace_cache(trace_cache.clone());
-    let sched = Scheduler::with_engine(SchedConfig::with_workers(cfg.workers), engine);
+    let sched_cfg = SchedConfig::with_workers(cfg.workers).with_faults(cfg.faults.clone());
+    let sched = Scheduler::with_engine(sched_cfg, engine);
     let shared = Arc::new(Shared {
         sched,
-        spec_cache: SpecCache::new(),
+        spec_cache,
         trace_cache,
         limiter: cfg.rate_limit.map(RateLimiter::new),
         journal,
         journal_gate: Mutex::new(()),
         journal_rejected,
         journal_replayed,
+        journal_resubmitted,
         jobs: Mutex::new(jobs),
-        admission: Mutex::new(AdmissionState { active: 0, shutdown: false }),
+        admission: Mutex::new(AdmissionState { active: journal_resubmitted, shutdown: false }),
         next_id: AtomicU64::new(next_id),
         completed: AtomicU64::new(0),
         rate_limited: AtomicU64::new(0),
         compactions: AtomicU64::new(0),
-        admitted: AtomicU64::new(0),
+        admitted: AtomicU64::new(journal_resubmitted as u64),
         conn_threads: Mutex::new(Vec::new()),
         local_addr,
         cfg,
     });
+
+    for (p, source_hash, spec, admit_line) in resubmits {
+        let record = Arc::new(JobRecord {
+            id: p.id,
+            name: spec.problem.name.clone(),
+            source_hash,
+            priority: p.priority,
+            admit_line: Some(admit_line),
+            cancel: CancelToken::new(),
+            state: Mutex::new(JobState::queued()),
+        });
+        shared.jobs.lock().unwrap().insert(p.id, record.clone());
+        launch_job(&shared, &record, spec, p.fast, p.deadline, p.step_budget);
+    }
 
     let acceptor = {
         let shared = shared.clone();
@@ -423,10 +514,23 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 }
 
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let faults = &shared.cfg.faults;
+    if faults.should_fire(site::SERVE_CONN_RESET) {
+        // Injected peer reset: drop the connection unanswered — the
+        // client sees a reset mid-exchange and must retry.
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return;
+    }
+    if let Some(roll) = faults.fire(site::SERVE_CONN_STALL) {
+        // Injected stall: sit on the accepted connection for a bounded,
+        // seed-derived interval before serving it.
+        std::thread::sleep(Duration::from_millis(roll % 250));
+    }
     // Bounded patience per connection: a stalled peer must not pin the
-    // thread (or delay shutdown joins) forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    // thread (or delay shutdown joins) forever. Zero disables.
+    let timeout = |d: Duration| (!d.is_zero()).then_some(d);
+    let _ = stream.set_read_timeout(timeout(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(timeout(shared.cfg.write_timeout));
     let peer = stream.peer_addr().ok().map(|a| a.ip());
     let response = match read_request(&mut stream, &shared.cfg.limits) {
         Ok(None) => return,
@@ -575,41 +679,86 @@ fn post_job(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -> Re
         Err(e) => return Response::error(400, &format!("source does not parse: {e}")),
     };
     spec.apply_overrides(max_degree, &[]);
-    let config = if fast { PipelineConfig::fast() } else { PipelineConfig::default() };
 
-    // Admission holds its lock across the capacity check, the record
-    // insert, and the scheduler submit, so two racing submissions
-    // cannot both squeeze past the cap — and the shutdown flag (which
-    // flips under the same lock) always sees a fully admitted job to
-    // cancel, never a half-inserted one.
-    let mut admission = shared.admission.lock().unwrap();
-    if admission.shutdown {
-        return Response::error(503, "server is shutting down").with_header("retry-after", "1");
+    // Admission: the lock covers the capacity check and the record
+    // insert, so two racing submissions cannot both squeeze past the
+    // cap — and a shutdown (which flips the flag under the same lock)
+    // always finds the admitted record in the jobs map and cancels its
+    // token. The scheduler submit happens *after* the lock is released:
+    // a quarantined submission completes synchronously on this thread,
+    // re-entering `finish_record`, which takes this lock (and the jobs
+    // lock and journal gate) itself.
+    let record = {
+        let mut admission = shared.admission.lock().unwrap();
+        if admission.shutdown {
+            return Response::error(503, "server is shutting down")
+                .with_header("retry-after", "1");
+        }
+        if admission.active >= shared.cfg.queue_cap + shared.cfg.workers {
+            return Response::error(503, "job queue is full").with_header("retry-after", "1");
+        }
+        admission.active += 1;
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let admit_line =
+            admit_json(id, source, name, fast, deadline, step_budget, max_degree, priority);
+        let record = Arc::new(JobRecord {
+            id,
+            name: spec.problem.name.clone(),
+            source_hash,
+            priority,
+            admit_line: Some(admit_line),
+            cancel: CancelToken::new(),
+            state: Mutex::new(JobState::queued()),
+        });
+        shared.jobs.lock().unwrap().insert(id, record.clone());
+        record
+    };
+
+    // Durable admission: the admit record reaches the journal before
+    // the 202, so "admitted" means "a restart will recover this job".
+    // An append failure rolls the admission back — the client gets a
+    // 503 and retries; nothing half-admitted survives.
+    if let Some(journal) = &shared.journal {
+        let gate = shared.journal_gate.lock().unwrap();
+        let appended = journal.append(record.admit_line.as_deref().unwrap_or_default());
+        drop(gate);
+        if let Err(e) = appended {
+            eprintln!("[gcln-serve] admit journal append failed for {}: {e}", record.api_id());
+            shared.jobs.lock().unwrap().remove(&record.id);
+            shared.admission.lock().unwrap().active -= 1;
+            return Response::error(503, "journal append failed; job not admitted")
+                .with_header("retry-after", "1");
+        }
     }
-    if admission.active >= shared.cfg.queue_cap + shared.cfg.workers {
-        return Response::error(503, "job queue is full").with_header("retry-after", "1");
-    }
-    admission.active += 1;
-    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
-    let record = Arc::new(JobRecord {
-        id,
-        name: spec.problem.name.clone(),
-        source_hash,
-        priority,
-        cancel: CancelToken::new(),
-        state: Mutex::new(JobState {
-            status: JobStatus::Queued,
-            valid: false,
-            stopped: None,
-            cegis_rounds: 0,
-            seconds: 0.0,
-            invariants: Vec::new(),
-            events: Vec::new(),
-        }),
-    });
-    shared.jobs.lock().unwrap().insert(id, record.clone());
     shared.admitted.fetch_add(1, Ordering::Relaxed);
 
+    launch_job(shared, &record, spec, fast, deadline, step_budget);
+    Response::json(
+        202,
+        format!(
+            r#"{{"id":{},"status":"queued","name":{},"source_hash":"{:016x}","priority":{}}}"#,
+            json_string(&record.api_id()),
+            json_string(&record.name),
+            source_hash,
+            priority
+        ),
+    )
+}
+
+/// Builds the engine job for an admitted record and submits it to the
+/// scheduler, wiring the event sink and the completion hook. Must be
+/// called *without* the admission lock (or any other server lock)
+/// held: a quarantined submission completes synchronously on the
+/// calling thread, running [`finish_record`] re-entrantly.
+fn launch_job(
+    shared: &Arc<Shared>,
+    record: &Arc<JobRecord>,
+    spec: gcln_engine::ProblemSpec,
+    fast: bool,
+    deadline: Option<Duration>,
+    step_budget: Option<u64>,
+) {
+    let config = if fast { PipelineConfig::fast() } else { PipelineConfig::default() };
     let ext_names = spec.problem.extended_names();
     let mut job = Job::new(spec).with_config(config);
     job.cancel = record.cancel.clone();
@@ -631,7 +780,14 @@ fn post_job(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -> Re
     let done_record = record.clone();
     shared.sched.submit_with(
         job,
-        SubmitOptions { priority, granularity: Granularity::Stage },
+        SubmitOptions {
+            priority: record.priority,
+            granularity: Granularity::Stage,
+            // Keyed by source hash: repeated panics on the same spec
+            // trip the scheduler's circuit breaker, and later
+            // submissions of that spec fail fast as `quarantined`.
+            fault_key: Some(record.source_hash),
+        },
         Some(Box::new(move |ev: &JobEvent| {
             let mut st = sink_record.state.lock().unwrap();
             if matches!(ev.event, Event::JobStarted { .. }) {
@@ -643,17 +799,71 @@ fn post_job(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -> Re
             finish_record(&done_shared, &done_record, outcome, &ext_names);
         })),
     );
-    drop(admission);
-    Response::json(
-        202,
-        format!(
-            r#"{{"id":{},"status":"queued","name":{},"source_hash":"{:016x}","priority":{}}}"#,
-            json_string(&record.api_id()),
-            json_string(&record.name),
-            source_hash,
-            priority
-        ),
+}
+
+/// Renders the `{"type":"admitted"}` journal payload for a submission —
+/// everything needed to re-derive and resubmit the job after a crash.
+#[allow(clippy::too_many_arguments)]
+fn admit_json(
+    id: u64,
+    source: &str,
+    name: Option<&str>,
+    fast: bool,
+    deadline: Option<Duration>,
+    step_budget: Option<u64>,
+    max_degree: Option<u32>,
+    priority: i32,
+) -> String {
+    format!(
+        r#"{{"type":"admitted","id":{},"source":{},"name":{},"fast":{},"deadline_secs":{},"step_budget":{},"max_degree":{},"priority":{}}}"#,
+        json_string(&format!("job-{id}")),
+        json_string(source),
+        name.map_or_else(|| "null".to_string(), json_string),
+        fast,
+        deadline.map_or_else(|| "null".to_string(), |d| format!("{}", d.as_secs_f64())),
+        step_budget.map_or_else(|| "null".to_string(), |s| s.to_string()),
+        max_degree.map_or_else(|| "null".to_string(), |d| d.to_string()),
+        priority,
     )
+}
+
+/// The submission parameters recovered from one admit record.
+struct AdmitParams {
+    id: u64,
+    source: String,
+    name: Option<String>,
+    fast: bool,
+    deadline: Option<Duration>,
+    step_budget: Option<u64>,
+    max_degree: Option<u32>,
+    priority: i32,
+}
+
+/// Parses an admit record; `None` rejects records missing the id or
+/// source (nothing to resubmit without them).
+fn parse_admit(v: &Json) -> Option<AdmitParams> {
+    Some(AdmitParams {
+        id: parse_job_id(v.get("id")?.as_str()?)?,
+        source: v.get("source")?.as_str()?.to_string(),
+        name: v
+            .get("name")
+            .filter(|n| !n.is_null())
+            .and_then(Json::as_str)
+            .map(str::to_string),
+        fast: v.get("fast").and_then(Json::as_bool).unwrap_or(false),
+        deadline: v
+            .get("deadline_secs")
+            .filter(|d| !d.is_null())
+            .and_then(Json::as_f64)
+            .and_then(|s| Duration::try_from_secs_f64(s).ok()),
+        step_budget: v.get("step_budget").filter(|s| !s.is_null()).and_then(Json::as_u64),
+        max_degree: v
+            .get("max_degree")
+            .filter(|d| !d.is_null())
+            .and_then(Json::as_u64)
+            .map(|d| d as u32),
+        priority: v.get("priority").and_then(Json::as_f64).map_or(0, |p| p as i32),
+    })
 }
 
 /// Completion hook, invoked by the scheduler worker that finished the
@@ -701,19 +911,26 @@ fn finish_record(
         let compact: Option<Vec<Arc<JobRecord>>> = match shared.cfg.journal_compact_bytes {
             Some(threshold) if journal.size_bytes() > threshold => {
                 let jobs = shared.jobs.lock().unwrap();
-                let mut done: Vec<Arc<JobRecord>> = jobs
-                    .values()
-                    .filter(|r| r.state.lock().unwrap().status == JobStatus::Done)
-                    .cloned()
-                    .collect();
-                done.sort_unstable_by_key(|r| r.id);
-                Some(done)
+                let mut all: Vec<Arc<JobRecord>> = jobs.values().cloned().collect();
+                all.sort_unstable_by_key(|r| r.id);
+                Some(all)
             }
             _ => None,
         };
-        if let Some(done) = compact {
-            let lines: Vec<String> =
-                done.iter().map(|r| format!(r#"{{"type":"job",{}}}"#, r.body_json())).collect();
+        if let Some(records) = compact {
+            // Done jobs keep their result line; incomplete jobs keep
+            // their admit line, so a crash after this rewrite still
+            // resubmits them on restart.
+            let lines: Vec<String> = records
+                .iter()
+                .filter_map(|r| {
+                    if r.state.lock().unwrap().status == JobStatus::Done {
+                        Some(format!(r#"{{"type":"job",{}}}"#, r.body_json()))
+                    } else {
+                        r.admit_line.clone()
+                    }
+                })
+                .collect();
             match journal.rewrite(&lines) {
                 Ok(()) => {
                     shared.compactions.fetch_add(1, Ordering::Relaxed);
@@ -786,10 +1003,12 @@ fn stats(shared: &Arc<Shared>) -> Response {
     let journal = match &shared.journal {
         None => "null".to_string(),
         Some(j) => format!(
-            r#"{{"path":{},"jobs_replayed":{},"lines_skipped":{},"size_bytes":{},"compactions":{}}}"#,
+            r#"{{"path":{},"jobs_replayed":{},"jobs_resubmitted":{},"lines_skipped":{},"repaired":{},"size_bytes":{},"compactions":{}}}"#,
             json_string(&j.path().display().to_string()),
             shared.journal_replayed,
+            shared.journal_resubmitted,
             j.skipped_lines() + shared.journal_rejected,
+            j.recovery().repaired,
             j.size_bytes(),
             shared.compactions.load(Ordering::Relaxed)
         ),
@@ -798,7 +1017,7 @@ fn stats(shared: &Arc<Shared>) -> Response {
     Response::json(
         200,
         format!(
-            r#"{{"queue_depth":{},"queue_cap":{},"workers":{},"busy_workers":{},"jobs":{{"total":{},"queued":{},"running":{},"done":{},"completed_this_process":{}}},"scheduler":{{"active_jobs":{},"tasks_executed":{},"utilization":{:.3}}},"rate_limited":{},"spec_cache":{},"trace_cache":{},"journal":{}}}"#,
+            r#"{{"queue_depth":{},"queue_cap":{},"workers":{},"busy_workers":{},"jobs":{{"total":{},"queued":{},"running":{},"done":{},"completed_this_process":{}}},"scheduler":{{"active_jobs":{},"tasks_executed":{},"tasks_retried":{},"tasks_panicked":{},"jobs_quarantined":{},"utilization":{:.3}}},"rate_limited":{},"spec_cache":{},"trace_cache":{},"journal":{}}}"#,
             queue_depth,
             shared.cfg.queue_cap,
             shared.cfg.workers,
@@ -810,6 +1029,9 @@ fn stats(shared: &Arc<Shared>) -> Response {
             shared.completed.load(Ordering::Relaxed),
             shared.sched.active_jobs(),
             sched.tasks_executed,
+            sched.tasks_retried,
+            sched.tasks_panicked,
+            sched.jobs_quarantined,
             sched.utilization(),
             shared.rate_limited.load(Ordering::Relaxed),
             cache_json(shared.spec_cache.stats()),
@@ -829,6 +1051,11 @@ fn metrics(shared: &Arc<Shared>) -> Response {
             rate_limited: shared.rate_limited.load(Ordering::Relaxed),
             journal_compactions: shared.compactions.load(Ordering::Relaxed),
             jobs_admitted: shared.admitted.load(Ordering::Relaxed),
+            journal_skipped_lines: shared
+                .journal
+                .as_ref()
+                .map_or(0, |j| (j.skipped_lines() + shared.journal_rejected) as u64),
+            journal_resubmitted: shared.journal_resubmitted as u64,
         },
     );
     Response::text(200, text)
@@ -890,6 +1117,7 @@ fn replay_record(v: &Json) -> Option<JobRecord> {
             .and_then(|h| u64::from_str_radix(h, 16).ok())
             .unwrap_or(0),
         priority: v.get("priority").and_then(Json::as_f64).map_or(0, |p| p as i32),
+        admit_line: None,
         cancel: CancelToken::new(),
         state: Mutex::new(JobState {
             status: JobStatus::Done,
@@ -910,6 +1138,42 @@ fn replay_record(v: &Json) -> Option<JobRecord> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn admit_records_roundtrip() {
+        let line = admit_json(
+            7,
+            "inputs n; while (i < n) { i = i + 1; }",
+            Some("count"),
+            true,
+            Some(Duration::from_secs_f64(2.5)),
+            Some(3),
+            Some(4),
+            -2,
+        );
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("admitted"));
+        let p = parse_admit(&v).unwrap();
+        assert_eq!(p.id, 7);
+        assert_eq!(p.name.as_deref(), Some("count"));
+        assert!(p.fast);
+        assert_eq!(p.deadline, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(p.step_budget, Some(3));
+        assert_eq!(p.max_degree, Some(4));
+        assert_eq!(p.priority, -2);
+        // Null optionals survive the roundtrip as None.
+        let line = admit_json(8, "x", None, false, None, None, None, 0);
+        let p = parse_admit(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(p.name, None);
+        assert_eq!(p.deadline, None);
+        assert_eq!(p.step_budget, None);
+        assert_eq!(p.max_degree, None);
+        // Structurally unusable records are rejected.
+        assert!(parse_admit(&Json::parse(r#"{"type":"admitted","id":"job-1"}"#).unwrap())
+            .is_none());
+        assert!(parse_admit(&Json::parse(r#"{"type":"admitted","source":"x"}"#).unwrap())
+            .is_none());
+    }
 
     #[test]
     fn job_ids_parse_strictly() {
@@ -951,6 +1215,7 @@ mod tests {
                 name: "x".into(),
                 source_hash: 0,
                 priority: 0,
+                admit_line: None,
                 cancel: CancelToken::new(),
                 state: Mutex::new(JobState {
                     status,

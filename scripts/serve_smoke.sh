@@ -94,9 +94,21 @@ for needle in (
     "gcln_sched_queue_wait_seconds_bucket",
     "gcln_sched_worker_utilization",
     'gcln_serve_cache_requests_total{cache="spec",result="miss"}',
+    "gcln_sched_task_retries_total",
+    "gcln_sched_task_panics_total",
+    "gcln_sched_jobs_quarantined_total",
+    "gcln_serve_journal_skipped_lines_total",
+    "gcln_serve_journal_resubmitted_total",
 ):
     assert needle in metrics, f"missing metrics series: {needle}"
-print("serve smoke: /metrics exposes scheduler histograms")
+# A fault-free run reports zero fault-tolerance activity.
+for zero in (
+    "gcln_sched_task_panics_total 0",
+    "gcln_sched_jobs_quarantined_total 0",
+    "gcln_serve_journal_skipped_lines_total 0",
+):
+    assert zero in metrics, f"expected zero series: {zero}"
+print("serve smoke: /metrics exposes scheduler + fault-tolerance series")
 
 status, bye = call("POST", "/shutdown")
 assert status == 200 and bye["ok"], bye
