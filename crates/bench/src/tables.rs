@@ -35,8 +35,17 @@ fn fast_suite_config() -> PipelineConfig {
 
 /// **Table 2**: per-problem results on the 27-problem NLA nonlinear
 /// benchmark (problem, degree, #vars, G-CLN solved?, runtime).
-pub fn table2(filter: &[String], fast: bool, json: bool, workers: Option<usize>) -> SuiteSummary {
-    let config = if fast { fast_suite_config() } else { PipelineConfig::default() };
+pub fn table2(
+    filter: &[String],
+    fast: bool,
+    json: bool,
+    workers: Option<usize>,
+    train_chunk: Option<usize>,
+) -> SuiteSummary {
+    let mut config = if fast { fast_suite_config() } else { PipelineConfig::default() };
+    if let Some(chunk) = train_chunk {
+        config.train_chunk_size = chunk;
+    }
     let problems: Vec<Problem> = nla_suite()
         .into_iter()
         .filter(|p| filter.is_empty() || filter.contains(&p.name))
@@ -78,10 +87,16 @@ pub fn table2(filter: &[String], fast: bool, json: bool, workers: Option<usize>)
 
 /// **§6.4 linear benchmark**: the pipeline over the 124-problem linear
 /// (Code2Inv-shape) suite. The paper solves all 124 in under 30 s each.
-pub fn code2inv(limit: usize, json: bool, workers: Option<usize>) -> SuiteSummary {
+pub fn code2inv(
+    limit: usize,
+    json: bool,
+    workers: Option<usize>,
+    train_chunk: Option<usize>,
+) -> SuiteSummary {
     let config = PipelineConfig {
         gcln: GclnConfig { max_epochs: 1000, ..GclnConfig::default() },
         max_attempts: 2,
+        train_chunk_size: train_chunk.unwrap_or(1),
         ..PipelineConfig::default()
     };
     let problems: Vec<Problem> = linear_suite().into_iter().take(limit).collect();
@@ -120,6 +135,7 @@ pub fn suite(
     limit: usize,
     filter: &[String],
     workers: Option<usize>,
+    train_chunk: Option<usize>,
 ) -> Option<SuiteSummary> {
     let problems: Vec<Problem> = gcln_problems::suite_by_name(which)?
 
@@ -127,7 +143,10 @@ pub fn suite(
         .filter(|p| filter.is_empty() || filter.contains(&p.name))
         .take(limit)
         .collect();
-    let config = if fast { fast_suite_config() } else { PipelineConfig::default() };
+    let mut config = if fast { fast_suite_config() } else { PipelineConfig::default() };
+    if let Some(chunk) = train_chunk {
+        config.train_chunk_size = chunk;
+    }
     let summary = run_suite_with(which, &problems, &config, workers);
     if json {
         emit_json(&summary);

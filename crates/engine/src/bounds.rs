@@ -14,7 +14,8 @@ use crate::terms::TermSpace;
 use gcln_logic::relax::pbqu_ge;
 use gcln_logic::{Atom, Pred};
 use gcln_numeric::{Poly, Rat};
-use gcln_tensor::optim::{project_unit_l2, Adam, OptimizerConfig};
+use gcln_tensor::lanes::LaneKernel;
+use gcln_tensor::optim::{project_unit_l2, AdamLanes, OptimizerConfig};
 use gcln_tensor::tape::Tape;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -254,16 +255,33 @@ fn train_directions(
             out.push(w.iter().map(|x| -x).collect());
         }
     }
-    for init in inits {
-        let mut params: Vec<f64> = init;
-        params.push(next_draw() * 0.1);
-        let mut adam = Adam::new(k + 1, config.optimizer);
-        for _ in 0..config.epochs {
-            let (_, grads) = tape.eval_with_grad(loss, &sub_columns, &params);
-            adam.step(&mut params, &grads);
-            project_unit_l2(&mut params[..k]);
+    // All restarts share one topology and differ only in their parameter
+    // vectors — train them as lanes of one [`LaneKernel`] pass instead of
+    // sequential tape runs. Each lane's updates are bit-identical to the
+    // historical per-init loop (kernel ≡ scalar tape per lane; per-lane
+    // Adam states are independent), so learned directions are unchanged
+    // at any lane count. Bias draws keep the sequential stream order.
+    let num_inits = inits.len();
+    let np = k + 1;
+    let mut all_params: Vec<f64> = Vec::with_capacity(num_inits * np);
+    for init in &inits {
+        all_params.extend_from_slice(init);
+        all_params.push(next_draw() * 0.1);
+    }
+    let mut kernel = LaneKernel::compile(&tape, loss, num_inits);
+    kernel.bind_inputs(&sub_columns);
+    let mut adam = AdamLanes::new(num_inits, np, config.optimizer);
+    let mut grads = vec![0.0; num_inits * np];
+    for _ in 0..config.epochs {
+        kernel.forward_active(&all_params, num_inits);
+        kernel.backward_active(&mut grads, num_inits);
+        for l in 0..num_inits {
+            adam.step_lane(l, &mut all_params, &grads);
+            project_unit_l2(&mut all_params[l * np..l * np + k]);
         }
-        out.push(params[..k].to_vec());
+    }
+    for l in 0..num_inits {
+        out.push(all_params[l * np..l * np + k].to_vec());
     }
     out
 }
@@ -422,6 +440,72 @@ mod tests {
             "x >= 0 missing from {:?}",
             bounds.iter().map(|b| b.display(&space.names).to_string()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn lane_batched_directions_match_sequential_training() {
+        // Re-derive train_directions' learned directions with the
+        // historical one-init-at-a-time loop and require bitwise equality
+        // — the lane-batched trainer must be a pure reorganization.
+        use gcln_tensor::optim::Adam;
+        let space = TermSpace::enumerate(names(&["n", "a"]), 2);
+        let points = sqrt_points();
+        let ds = Dataset::from_points(points.clone(), &space, Some(10.0));
+        let columns = ds.columns();
+        let config = BoundsConfig { epochs: 40, ..BoundsConfig::default() };
+        let subset = vec![0usize, 1];
+        let k = subset.len();
+        let num_inits = (1usize << k) + 2;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let draws: Vec<f64> = (0..2 * k + num_inits).map(|_| rng.gen::<f64>()).collect();
+        let batched = train_directions(&subset, &columns, &config, &draws);
+
+        // Sequential reference: same tape, same init construction, one
+        // Adam per init run to completion before the next starts.
+        let mut draws_it = draws.iter().copied();
+        let mut next_draw = move || draws_it.next().unwrap();
+        let mut tape = Tape::new();
+        let xs: Vec<_> = (0..k).map(|i| tape.input(i)).collect();
+        let ws: Vec<_> = (0..k).map(|i| tape.param(i)).collect();
+        let bias = tape.param(k);
+        let z = tape.affine(&ws, &xs, Some(bias));
+        let loss = tape.pbqu_loss(z, config.c1, config.c2);
+        let sub_columns: Vec<Vec<f64>> =
+            subset.iter().map(|&t| columns[t].clone()).collect();
+        let mut inits: Vec<Vec<f64>> = Vec::new();
+        for bits in 0..(1u32 << (k - 1)) {
+            let mut w: Vec<f64> = (0..k)
+                .map(|i| if i > 0 && (bits >> (i - 1)) & 1 == 1 { -1.0 } else { 1.0 })
+                .collect();
+            project_unit_l2(&mut w);
+            inits.push(w.clone());
+            inits.push(w.iter().map(|x| -x).collect());
+        }
+        for _ in 0..2 {
+            let mut w: Vec<f64> = (0..k).map(|_| next_draw() * 2.0 - 1.0).collect();
+            project_unit_l2(&mut w);
+            inits.push(w);
+        }
+        let mut trained = Vec::new();
+        for init in inits {
+            let mut params: Vec<f64> = init;
+            params.push(next_draw() * 0.1);
+            let mut adam = Adam::new(k + 1, config.optimizer);
+            for _ in 0..config.epochs {
+                let (_, grads) = tape.eval_with_grad(loss, &sub_columns, &params);
+                adam.step(&mut params, &grads);
+                project_unit_l2(&mut params[..k]);
+            }
+            trained.push(params[..k].to_vec());
+        }
+        // Trained directions occupy the tail of the batched output (after
+        // the fixed canonical + small-integer-ratio candidates).
+        let tail = &batched[batched.len() - trained.len()..];
+        for (got, want) in tail.iter().zip(&trained) {
+            for (a, b) in got.iter().zip(want) {
+                assert_eq!(a.to_bits(), b.to_bits(), "lane-batched direction diverged");
+            }
+        }
     }
 
     #[test]

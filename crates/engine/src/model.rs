@@ -12,7 +12,9 @@
 //! projection (§5.1.2), and term dropout (§5.1.3). Gates are clamped to
 //! `[0, 1]` after every step.
 
-use gcln_tensor::optim::{project_unit_l2, Adam, OptimizerConfig};
+use gcln_tensor::fastmath::l1_subgrad;
+use gcln_tensor::lanes::LaneKernel;
+use gcln_tensor::optim::{project_unit_l2, Adam, AdamLanes, OptimizerConfig};
 use gcln_tensor::tape::{Tape, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -149,34 +151,21 @@ struct ClauseSlot {
     gate_param: usize,
 }
 
-/// Trains a G-CLN with Gaussian (equality) literals on term columns.
-///
-/// `columns[t]` is the batch vector of term `t` over all samples (use
-/// [`crate::data::Dataset::columns`]).
-///
-/// # Panics
-///
-/// Panics if `columns` is empty or the columns are ragged.
-pub fn train_equality_gcln(columns: &[Vec<f64>], config: &GclnConfig) -> TrainedGcln {
-    assert!(!columns.is_empty(), "need at least one term column");
-    let num_terms = columns.len();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+/// Kept term indices per `[clause][literal]`, plus the aligned boolean
+/// masks over the full term space.
+type KeptTerms = (Vec<Vec<Vec<usize>>>, Vec<Vec<Vec<bool>>>);
 
-    // --- allocate parameters and dropout masks ---
-    let mut num_params = 0usize;
-    let mut alloc = |n: usize| -> Vec<usize> {
-        let ids: Vec<usize> = (num_params..num_params + n).collect();
-        num_params += n;
-        ids
-    };
-    let mut clauses = Vec::with_capacity(config.num_clauses);
+/// Term-dropout draws (§5.1.3) — the **first RNG phase**. Shared verbatim
+/// by the scalar and lane-batched trainers so a given seed yields
+/// identical masks in both. Keeps at least two terms per literal so a
+/// constraint stays expressible.
+fn draw_kept_terms(num_terms: usize, config: &GclnConfig, rng: &mut StdRng) -> KeptTerms {
     let mut masks =
         vec![vec![vec![false; num_terms]; config.literals_per_clause]; config.num_clauses];
+    let mut kept_all = Vec::with_capacity(config.num_clauses);
     for clause_masks in masks.iter_mut() {
-        let mut literals = Vec::with_capacity(config.literals_per_clause);
+        let mut clause_kept = Vec::with_capacity(config.literals_per_clause);
         for literal_mask in clause_masks.iter_mut() {
-            // Term dropout (§5.1.3): predetermined before training; keep
-            // at least two terms so a constraint is expressible.
             let mut kept: Vec<usize> = (0..num_terms)
                 .filter(|_| rng.gen::<f64>() >= config.dropout_rate)
                 .collect();
@@ -190,23 +179,85 @@ pub fn train_equality_gcln(columns: &[Vec<f64>], config: &GclnConfig) -> Trained
             for &t in &kept {
                 literal_mask[t] = true;
             }
-            let weight_params = alloc(kept.len());
-            let gate_param = alloc(1)[0];
-            literals.push(LiteralSlot { weight_params, kept_terms: kept, gate_param });
+            clause_kept.push(kept);
         }
-        let gate_param = alloc(1)[0];
-        clauses.push(ClauseSlot { literals, gate_param });
+        kept_all.push(clause_kept);
     }
+    (kept_all, masks)
+}
 
-    // σ lives in a dedicated parameter slot so annealing can move it
-    // between epochs without rebuilding the graph; its gradient is
-    // zeroed before each optimizer step.
-    let sigma_slot = alloc(1)[0];
+/// Compact parameter layout (the scalar trainer's): weight slots exist
+/// for kept terms only, allocated sequentially clause by clause, with σ
+/// in the last slot. Returns `(slots, num_params, sigma_slot)`.
+fn compact_slots(kept: &[Vec<Vec<usize>>]) -> (Vec<ClauseSlot>, usize, usize) {
+    let mut num_params = 0usize;
+    let mut alloc = |n: usize| -> usize {
+        num_params += n;
+        num_params - n
+    };
+    let mut clauses = Vec::with_capacity(kept.len());
+    for clause_kept in kept {
+        let literals = clause_kept
+            .iter()
+            .map(|kept| {
+                let first = alloc(kept.len());
+                LiteralSlot {
+                    weight_params: (first..first + kept.len()).collect(),
+                    kept_terms: kept.clone(),
+                    gate_param: alloc(1),
+                }
+            })
+            .collect();
+        clauses.push(ClauseSlot { literals, gate_param: alloc(1) });
+    }
+    let sigma_slot = alloc(1);
+    (clauses, num_params, sigma_slot)
+}
 
-    // --- build the tape graph once ---
+/// Dense parameter layout (the lane-batched trainer's): every literal
+/// owns a weight slot for **every** term —
+/// `param(ci, li, t) = ci·(n·(T+1)+1) + li·(T+1) + t` — so one tape
+/// topology serves every dropout mask; dropped slots simply hold zero.
+/// The returned slots still list *kept* coordinates only, which is what
+/// makes every downstream helper (regularization, projection, read-back)
+/// work identically on either layout. `(slots, num_params, sigma_slot)`.
+fn dense_slots(kept: &[Vec<Vec<usize>>], num_terms: usize) -> (Vec<ClauseSlot>, usize, usize) {
+    let n = kept.first().map_or(0, Vec::len);
+    let lit_stride = num_terms + 1;
+    let clause_stride = n * lit_stride + 1;
+    let clauses = kept
+        .iter()
+        .enumerate()
+        .map(|(ci, clause_kept)| {
+            let base = ci * clause_stride;
+            let literals = clause_kept
+                .iter()
+                .enumerate()
+                .map(|(li, kept)| LiteralSlot {
+                    weight_params: kept.iter().map(|&t| base + li * lit_stride + t).collect(),
+                    kept_terms: kept.clone(),
+                    gate_param: base + li * lit_stride + num_terms,
+                })
+                .collect();
+            ClauseSlot { literals, gate_param: base + n * lit_stride }
+        })
+        .collect();
+    let num_params = kept.len() * clause_stride + 1;
+    (clauses, num_params, num_params - 1)
+}
+
+/// Records the G-CLN loss graph
+/// `mean(1 − Π_clauses(1 + g·(OR − 1)))` on a fresh tape. `wiring` gives
+/// each literal's `(weight param, term)` pairs — kept-only for the
+/// compact layout, all terms for the dense one; everything else is
+/// layout-independent.
+fn build_loss_tape(num_terms: usize, wiring: &[ClauseSlot], sigma_slot: usize) -> (Tape, Var) {
     let mut tape = Tape::new();
     let term_inputs: Vec<Var> = (0..num_terms).map(|t| tape.input(t)).collect();
     let one = tape.constant(1.0);
+    // σ lives in a dedicated parameter slot so annealing can move it
+    // between epochs without rebuilding the graph; its gradient is
+    // zeroed before each optimizer step.
     let neg_half_inv_sigma2 = {
         let sp = tape.param(sigma_slot);
         let s2 = tape.square(sp);
@@ -216,7 +267,7 @@ pub fn train_equality_gcln(columns: &[Vec<f64>], config: &GclnConfig) -> Trained
         tape.neg(inv)
     };
     let mut clause_nodes = Vec::new();
-    for clause in &clauses {
+    for clause in wiring {
         // Gated t-conorm over the literals: 1 - Π (1 - g·act).
         let mut prod: Option<Var> = None;
         for lit in &clause.literals {
@@ -227,19 +278,15 @@ pub fn train_equality_gcln(columns: &[Vec<f64>], config: &GclnConfig) -> Trained
             let z = tape.affine(&ws, &xs, None);
             let act = tape.gaussian(z, neg_half_inv_sigma2);
             let gate = tape.param(lit.gate_param);
-            let gated = tape.mul(gate, act);
-            let factor = tape.sub(one, gated);
+            let factor = tape.lit_factor(gate, act);
             prod = Some(match prod {
                 Some(p) => tape.mul(p, factor),
                 None => factor,
             });
         }
-        let or_val = tape.sub(one, prod.expect("clause has literals"));
-        // Gated t-norm factor: 1 + g·(or - 1).
+        // Gated t-norm factor 1 + g·((1 − Π) − 1), fused into one node.
         let gate = tape.param(clause.gate_param);
-        let or_minus_1 = tape.sub(or_val, one);
-        let gated = tape.mul(gate, or_minus_1);
-        let factor = tape.add(one, gated);
+        let factor = tape.clause_factor(prod.expect("clause has literals"), gate);
         clause_nodes.push(factor);
     }
     let mut conj = clause_nodes[0];
@@ -248,10 +295,14 @@ pub fn train_equality_gcln(columns: &[Vec<f64>], config: &GclnConfig) -> Trained
     }
     let dissatisfaction = tape.sub(one, conj);
     let loss = tape.mean_batch(dissatisfaction);
+    (tape, loss)
+}
 
-    // --- initialize parameters ---
-    let mut params = vec![0.0; num_params];
-    for clause in &clauses {
+/// Weight-init draws — the **second RNG phase**, after every dropout
+/// draw. Shared verbatim by both trainers: per literal, `k` uniform
+/// draws in `[-1, 1)` projected to the unit sphere; gates start at 1.
+fn init_params(params: &mut [f64], clauses: &[ClauseSlot], rng: &mut StdRng) {
+    for clause in clauses {
         for lit in &clause.literals {
             let k = lit.weight_params.len();
             let mut w: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
@@ -263,103 +314,118 @@ pub fn train_equality_gcln(columns: &[Vec<f64>], config: &GclnConfig) -> Trained
         }
         params[clause.gate_param] = 1.0;
     }
+}
 
-    // --- training loop ---
-    let mut adam = Adam::new(num_params, config.optimizer);
-    let mut epochs_run = 0;
-    let anneal_epochs = (config.max_epochs as f64 * config.anneal_fraction).max(1.0);
-    let sigma_at = |epoch: usize| {
-        let t = (epoch as f64 / anneal_epochs).min(1.0);
-        config.sigma_init * (config.sigma / config.sigma_init).powf(t)
-    };
-    for epoch in 0..config.max_epochs {
-        epochs_run = epoch + 1;
-        params[sigma_slot] = sigma_at(epoch);
-        let (loss_val, mut grads) = tape.eval_with_grad(loss, columns, &params);
-        grads[sigma_slot] = 0.0;
-        // Gate regularization gradients (outside the tape):
-        //   λ₁ Σ (1 − g_clause) and λ₂ Σ g_literal.
-        let l1 = config.lambda1.at(epoch);
-        let l2 = config.lambda2.at(epoch);
-        for clause in &clauses {
-            grads[clause.gate_param] -= l1;
-            for lit in &clause.literals {
-                grads[lit.gate_param] += l2;
-                if config.weight_l1 > 0.0 {
-                    for &p in &lit.weight_params {
-                        grads[p] += config.weight_l1 * params[p].signum();
-                    }
+/// Gate regularization (λ₁ Σ (1 − g_clause) + λ₂ Σ g_literal) and L1
+/// weight sparsity gradients, applied outside the tape.
+///
+/// The L1 term uses the zero-at-zero subgradient ([`l1_subgrad`]) rather
+/// than `signum` — `signum(±0) = ±1` would turn the sign of a zero (the
+/// one bit IEEE lets equivalent computations disagree on) into a ±2λ
+/// gradient difference between the scalar and lane-batched paths.
+fn apply_gate_weight_reg(
+    grads: &mut [f64],
+    params: &[f64],
+    clauses: &[ClauseSlot],
+    l1: f64,
+    l2: f64,
+    weight_l1: f64,
+) {
+    for clause in clauses {
+        grads[clause.gate_param] -= l1;
+        for lit in &clause.literals {
+            grads[lit.gate_param] += l2;
+            if weight_l1 > 0.0 {
+                for &p in &lit.weight_params {
+                    grads[p] += weight_l1 * l1_subgrad(params[p]);
                 }
-            }
-        }
-        // Decorrelation fades out with the annealing schedule so literals
-        // spread early but settle to precise directions late.
-        let diversity = config.diversity * (1.0 - (epoch as f64 / anneal_epochs)).max(0.0);
-        if diversity > 0.0 {
-            // Pairwise decorrelation: ∂/∂wᵢ ½(wᵢ·wⱼ)² = (wᵢ·wⱼ)·wⱼ,
-            // computed over the shared (full) term space.
-            let lits: Vec<&LiteralSlot> =
-                clauses.iter().flat_map(|c| c.literals.iter()).collect();
-            let dense: Vec<Vec<f64>> = lits
-                .iter()
-                .map(|l| {
-                    let mut w = vec![0.0; num_terms];
-                    for (&p, &t) in l.weight_params.iter().zip(&l.kept_terms) {
-                        w[t] = params[p];
-                    }
-                    w
-                })
-                .collect();
-            for i in 0..lits.len() {
-                for j in 0..lits.len() {
-                    if i == j {
-                        continue;
-                    }
-                    let dot: f64 =
-                        dense[i].iter().zip(&dense[j]).map(|(a, b)| a * b).sum();
-                    for (&p, &t) in lits[i].weight_params.iter().zip(&lits[i].kept_terms) {
-                        grads[p] += diversity * dot * dense[j][t];
-                    }
-                }
-            }
-        }
-        adam.step(&mut params, &grads);
-        // Projections: unit-L2 weights, clamped gates.
-        for clause in &clauses {
-            params[clause.gate_param] = params[clause.gate_param].clamp(0.0, 1.0);
-            for lit in &clause.literals {
-                params[lit.gate_param] = params[lit.gate_param].clamp(0.0, 1.0);
-                if config.weight_reg {
-                    let mut w: Vec<f64> =
-                        lit.weight_params.iter().map(|&p| params[p]).collect();
-                    project_unit_l2(&mut w);
-                    for (&p, &v) in lit.weight_params.iter().zip(&w) {
-                        params[p] = v;
-                    }
-                }
-            }
-        }
-        let annealed = epoch as f64 >= anneal_epochs;
-        if annealed && loss_val < config.loss_tol && epoch > 100 {
-            let polar = clauses.iter().all(|c| {
-                let g = params[c.gate_param];
-                (g <= 0.1 || g >= 0.9)
-                    && c.literals.iter().all(|l| {
-                        let g = params[l.gate_param];
-                        g <= 0.1 || g >= 0.9
-                    })
-            });
-            if polar {
-                break;
             }
         }
     }
+}
 
-    // Measure the final loss at the fully annealed σ.
-    params[sigma_slot] = config.sigma;
-    let final_loss = tape.forward(loss, columns, &params);
+/// Pairwise decorrelation gradients `∂/∂wᵢ ½(wᵢ·wⱼ)² = (wᵢ·wⱼ)·wⱼ`,
+/// computed over the shared (full) term space.
+fn apply_diversity(
+    grads: &mut [f64],
+    params: &[f64],
+    clauses: &[ClauseSlot],
+    num_terms: usize,
+    diversity: f64,
+) {
+    let lits: Vec<&LiteralSlot> = clauses.iter().flat_map(|c| c.literals.iter()).collect();
+    let dense: Vec<Vec<f64>> = lits
+        .iter()
+        .map(|l| {
+            let mut w = vec![0.0; num_terms];
+            for (&p, &t) in l.weight_params.iter().zip(&l.kept_terms) {
+                w[t] = params[p];
+            }
+            w
+        })
+        .collect();
+    for i in 0..lits.len() {
+        for j in 0..lits.len() {
+            if i == j {
+                continue;
+            }
+            let dot: f64 = dense[i].iter().zip(&dense[j]).map(|(a, b)| a * b).sum();
+            for (&p, &t) in lits[i].weight_params.iter().zip(&lits[i].kept_terms) {
+                grads[p] += diversity * dot * dense[j][t];
+            }
+        }
+    }
+}
 
-    // --- read the trained model back out ---
+/// Post-step projections: gates clamped to `[0, 1]`, kept weights
+/// projected to the unit L2 sphere (gather → project → scatter, so the
+/// dense layout's zero-filled dropped slots never enter the norm count).
+fn apply_projections(params: &mut [f64], clauses: &[ClauseSlot], weight_reg: bool) {
+    for clause in clauses {
+        params[clause.gate_param] = params[clause.gate_param].clamp(0.0, 1.0);
+        for lit in &clause.literals {
+            params[lit.gate_param] = params[lit.gate_param].clamp(0.0, 1.0);
+            if weight_reg {
+                let mut w: Vec<f64> = lit.weight_params.iter().map(|&p| params[p]).collect();
+                project_unit_l2(&mut w);
+                for (&p, &v) in lit.weight_params.iter().zip(&w) {
+                    params[p] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Whether every gate sits within 0.1 of {0, 1} (the early-stop and
+/// extraction premise).
+fn gates_polar(params: &[f64], clauses: &[ClauseSlot]) -> bool {
+    clauses.iter().all(|c| {
+        let g = params[c.gate_param];
+        (g <= 0.1 || g >= 0.9)
+            && c.literals.iter().all(|l| {
+                let g = params[l.gate_param];
+                g <= 0.1 || g >= 0.9
+            })
+    })
+}
+
+/// σ annealing schedule: geometric from `sigma_init` to `sigma` over the
+/// anneal window.
+fn sigma_at(config: &GclnConfig, anneal_epochs: f64, epoch: usize) -> f64 {
+    let t = (epoch as f64 / anneal_epochs).min(1.0);
+    config.sigma_init * (config.sigma / config.sigma_init).powf(t)
+}
+
+/// Reads a trained model out of a parameter vector.
+fn read_back(
+    params: &[f64],
+    clauses: &[ClauseSlot],
+    masks: Vec<Vec<Vec<bool>>>,
+    num_terms: usize,
+    config: &GclnConfig,
+    final_loss: f64,
+    epochs_run: usize,
+) -> TrainedGcln {
     let mut weights =
         vec![vec![vec![0.0; num_terms]; config.literals_per_clause]; config.num_clauses];
     let mut literal_gates = vec![Vec::new(); config.num_clauses];
@@ -374,6 +440,261 @@ pub fn train_equality_gcln(columns: &[Vec<f64>], config: &GclnConfig) -> Trained
         }
     }
     TrainedGcln { clause_gates, literal_gates, weights, masks, final_loss, epochs_run }
+}
+
+/// Trains a G-CLN with Gaussian (equality) literals on term columns.
+///
+/// `columns[t]` is the batch vector of term `t` over all samples (use
+/// [`crate::data::Dataset::columns`]).
+///
+/// This is the scalar reference path; [`train_equality_gcln_batch`]
+/// trains several attempts per pass and is bit-identical to calling this
+/// once per attempt.
+///
+/// # Panics
+///
+/// Panics if `columns` is empty or the columns are ragged.
+pub fn train_equality_gcln(columns: &[Vec<f64>], config: &GclnConfig) -> TrainedGcln {
+    assert!(!columns.is_empty(), "need at least one term column");
+    let num_terms = columns.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let (kept, masks) = draw_kept_terms(num_terms, config, &mut rng);
+    let (clauses, num_params, sigma_slot) = compact_slots(&kept);
+    let (mut tape, loss) = build_loss_tape(num_terms, &clauses, sigma_slot);
+
+    let mut params = vec![0.0; num_params];
+    init_params(&mut params, &clauses, &mut rng);
+
+    // --- training loop ---
+    let mut adam = Adam::new(num_params, config.optimizer);
+    let mut grads = vec![0.0; num_params];
+    let mut epochs_run = 0;
+    let anneal_epochs = (config.max_epochs as f64 * config.anneal_fraction).max(1.0);
+    for epoch in 0..config.max_epochs {
+        epochs_run = epoch + 1;
+        params[sigma_slot] = sigma_at(config, anneal_epochs, epoch);
+        let loss_val = tape.eval_with_grad_into(loss, columns, &params, &mut grads);
+        grads[sigma_slot] = 0.0;
+        apply_gate_weight_reg(
+            &mut grads,
+            &params,
+            &clauses,
+            config.lambda1.at(epoch),
+            config.lambda2.at(epoch),
+            config.weight_l1,
+        );
+        // Decorrelation fades out with the annealing schedule so literals
+        // spread early but settle to precise directions late.
+        let diversity = config.diversity * (1.0 - (epoch as f64 / anneal_epochs)).max(0.0);
+        if diversity > 0.0 {
+            apply_diversity(&mut grads, &params, &clauses, num_terms, diversity);
+        }
+        adam.step(&mut params, &grads);
+        apply_projections(&mut params, &clauses, config.weight_reg);
+        let annealed = epoch as f64 >= anneal_epochs;
+        if annealed
+            && loss_val < config.loss_tol
+            && epoch > 100
+            && gates_polar(&params, &clauses)
+        {
+            break;
+        }
+    }
+
+    // Measure the final loss at the fully annealed σ.
+    params[sigma_slot] = config.sigma;
+    let final_loss = tape.forward(loss, columns, &params);
+    read_back(&params, &clauses, masks, num_terms, config, final_loss, epochs_run)
+}
+
+/// The subset of [`GclnConfig`] that may differ across a lane batch:
+/// seed and dropout rate vary per attempt; everything else (schedules,
+/// architecture, epoch budget) must be shared so one epoch loop can
+/// drive every lane.
+fn assert_batch_compatible(configs: &[GclnConfig]) {
+    let lambda_eq = |a: &LambdaSchedule, b: &LambdaSchedule| {
+        a.init == b.init && a.factor == b.factor && a.limit == b.limit
+    };
+    let a = &configs[0];
+    for b in &configs[1..] {
+        let same = a.num_clauses == b.num_clauses
+            && a.literals_per_clause == b.literals_per_clause
+            && a.sigma == b.sigma
+            && a.sigma_init == b.sigma_init
+            && a.anneal_fraction == b.anneal_fraction
+            && a.weight_l1 == b.weight_l1
+            && a.diversity == b.diversity
+            && a.weight_reg == b.weight_reg
+            && a.max_epochs == b.max_epochs
+            && a.loss_tol == b.loss_tol
+            && a.optimizer.learning_rate == b.optimizer.learning_rate
+            && a.optimizer.decay == b.optimizer.decay
+            && lambda_eq(&a.lambda1, &b.lambda1)
+            && lambda_eq(&a.lambda2, &b.lambda2);
+        assert!(same, "lane-batched attempts may differ only in seed and dropout_rate");
+    }
+}
+
+/// Per-attempt bookkeeping inside one lane chunk.
+struct AttemptState {
+    clauses: Vec<ClauseSlot>,
+    masks: Vec<Vec<Vec<bool>>>,
+    /// Dense weight coordinates *not* kept by this attempt's dropout:
+    /// their tape gradients are junk (the dense tape differentiates every
+    /// slot) and are zeroed before the optimizer sees them.
+    dropped: Vec<usize>,
+    epochs_run: usize,
+}
+
+/// Trains up to `lane_width` attempts per vectorized pass, bit-identical
+/// to running [`train_equality_gcln`] once per config.
+///
+/// All attempts in one call share a tape *topology* — the dense layout
+/// gives every literal a weight slot for every term, so differing
+/// dropout masks become differing zero patterns, not differing graphs.
+/// Attempts are processed in chunks of `lane_width`; within a chunk one
+/// [`LaneKernel`] forward/backward serves every live attempt, attempts
+/// that early-stop are repacked out of the active prefix (lane position
+/// does not affect a lane's arithmetic), and each attempt keeps its own
+/// Adam state, schedules, and stop decision. Configs may differ only in
+/// `seed` and `dropout_rate`.
+///
+/// # Panics
+///
+/// Panics if `columns` is empty or ragged, `lane_width` is zero, or the
+/// configs differ outside seed/dropout.
+pub fn train_equality_gcln_batch(
+    columns: &[Vec<f64>],
+    configs: &[GclnConfig],
+    lane_width: usize,
+) -> Vec<TrainedGcln> {
+    assert!(!columns.is_empty(), "need at least one term column");
+    assert!(lane_width > 0, "need at least one lane");
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    assert_batch_compatible(configs);
+    let num_terms = columns.len();
+    let shared = &configs[0];
+    let anneal_epochs = (shared.max_epochs as f64 * shared.anneal_fraction).max(1.0);
+
+    // One dense tape topology serves every chunk: all-terms wiring with a
+    // mask of `true` everywhere (the wiring ignores masks).
+    let full: Vec<Vec<Vec<usize>>> = vec![
+            vec![(0..num_terms).collect(); shared.literals_per_clause];
+            shared.num_clauses
+        ];
+    let (wiring, num_params, sigma_slot) = dense_slots(&full, num_terms);
+    let (tape, loss) = build_loss_tape(num_terms, &wiring, sigma_slot);
+
+    let mut results = Vec::with_capacity(configs.len());
+    for chunk in configs.chunks(lane_width) {
+        let lanes = chunk.len();
+        let mut kernel = LaneKernel::compile(&tape, loss, lanes);
+        kernel.bind_inputs(columns);
+
+        // Per-attempt topology and init — same two RNG phases, same
+        // draws, as the scalar path.
+        let mut attempts = Vec::with_capacity(lanes);
+        let mut all_params = vec![0.0; lanes * num_params];
+        for (a, cfg) in chunk.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let (kept, masks) = draw_kept_terms(num_terms, cfg, &mut rng);
+            let (clauses, np2, _) = dense_slots(&kept, num_terms);
+            debug_assert_eq!(np2, num_params);
+            init_params(&mut all_params[a * num_params..(a + 1) * num_params], &clauses, &mut rng);
+            let mut dropped = Vec::new();
+            for (ci, clause_kept) in kept.iter().enumerate() {
+                for (li, kept_terms) in clause_kept.iter().enumerate() {
+                    let mut it = kept_terms.iter().peekable();
+                    for t in 0..num_terms {
+                        if it.peek() == Some(&&t) {
+                            it.next();
+                        } else {
+                            dropped.push(wiring[ci].literals[li].weight_params[t]);
+                        }
+                    }
+                }
+            }
+            attempts.push(AttemptState { clauses, masks, dropped, epochs_run: 0 });
+        }
+
+        // Lane index into the optimizer stays the attempt's fixed chunk
+        // position, so each attempt's Adam trajectory matches a scalar
+        // Adam bit-for-bit regardless of how the active set shrinks.
+        let mut adam = AdamLanes::new(lanes, num_params, shared.optimizer);
+        let mut all_grads = vec![0.0; lanes * num_params];
+        let mut packed_params = vec![0.0; lanes * num_params];
+        let mut packed_grads = vec![0.0; lanes * num_params];
+        let mut active: Vec<usize> = (0..lanes).collect();
+        for epoch in 0..shared.max_epochs {
+            if active.is_empty() {
+                break;
+            }
+            let sig = sigma_at(shared, anneal_epochs, epoch);
+            for (l, &a) in active.iter().enumerate() {
+                attempts[a].epochs_run = epoch + 1;
+                all_params[a * num_params + sigma_slot] = sig;
+                packed_params[l * num_params..(l + 1) * num_params]
+                    .copy_from_slice(&all_params[a * num_params..(a + 1) * num_params]);
+            }
+            let losses = kernel.forward_active(&packed_params, active.len()).to_vec();
+            kernel.backward_active(&mut packed_grads, active.len());
+            let l1 = shared.lambda1.at(epoch);
+            let l2 = shared.lambda2.at(epoch);
+            let diversity =
+                shared.diversity * (1.0 - (epoch as f64 / anneal_epochs)).max(0.0);
+            for (l, &a) in active.iter().enumerate() {
+                let st = &attempts[a];
+                let params = &all_params[a * num_params..(a + 1) * num_params];
+                let grads = &mut all_grads[a * num_params..(a + 1) * num_params];
+                grads.copy_from_slice(&packed_grads[l * num_params..(l + 1) * num_params]);
+                grads[sigma_slot] = 0.0;
+                for &p in &st.dropped {
+                    grads[p] = 0.0;
+                }
+                apply_gate_weight_reg(grads, params, &st.clauses, l1, l2, shared.weight_l1);
+                if diversity > 0.0 {
+                    apply_diversity(grads, params, &st.clauses, num_terms, diversity);
+                }
+            }
+            let annealed = epoch as f64 >= anneal_epochs;
+            let mut still_active = Vec::with_capacity(active.len());
+            for (l, &a) in active.iter().enumerate() {
+                adam.step_lane(a, &mut all_params, &all_grads);
+                let params = &mut all_params[a * num_params..(a + 1) * num_params];
+                apply_projections(params, &attempts[a].clauses, shared.weight_reg);
+                let stop = annealed
+                    && losses[l] < shared.loss_tol
+                    && epoch > 100
+                    && gates_polar(params, &attempts[a].clauses);
+                if !stop {
+                    still_active.push(a);
+                }
+            }
+            active = still_active;
+        }
+
+        // Final loss for every attempt at the fully annealed σ, one
+        // all-lanes forward.
+        for a in 0..lanes {
+            all_params[a * num_params + sigma_slot] = shared.sigma;
+        }
+        let finals = kernel.forward_active(&all_params, lanes).to_vec();
+        for (a, st) in attempts.into_iter().enumerate() {
+            results.push(read_back(
+                &all_params[a * num_params..(a + 1) * num_params],
+                &st.clauses,
+                st.masks,
+                num_terms,
+                &chunk[a],
+                finals[a],
+                st.epochs_run,
+            ));
+        }
+    }
+    results
 }
 
 #[cfg(test)]
@@ -568,5 +889,119 @@ mod tests {
             }
         }
         assert!(success, "no seed learned the disjunction");
+    }
+
+    /// Bitwise comparison of two trained models — `assert_eq!` on f64
+    /// would let `-0.0` pass for `0.0`, so compare raw bits.
+    fn assert_models_bit_identical(a: &TrainedGcln, b: &TrainedGcln, ctx: &str) {
+        assert_eq!(a.epochs_run, b.epochs_run, "{ctx}: epochs_run");
+        assert_eq!(a.masks, b.masks, "{ctx}: masks");
+        assert_eq!(a.final_loss.to_bits(), b.final_loss.to_bits(), "{ctx}: final_loss");
+        for (ga, gb) in a.clause_gates.iter().zip(&b.clause_gates) {
+            assert_eq!(ga.to_bits(), gb.to_bits(), "{ctx}: clause gate");
+        }
+        for (la, lb) in a.literal_gates.iter().zip(&b.literal_gates) {
+            for (ga, gb) in la.iter().zip(lb) {
+                assert_eq!(ga.to_bits(), gb.to_bits(), "{ctx}: literal gate");
+            }
+        }
+        for (ca, cb) in a.weights.iter().zip(&b.weights) {
+            for (la, lb) in ca.iter().zip(cb) {
+                for (wa, wb) in la.iter().zip(lb) {
+                    assert_eq!(wa.to_bits(), wb.to_bits(), "{ctx}: weight {wa} vs {wb}");
+                }
+            }
+        }
+    }
+
+    /// Attempt configs the way the pipeline derives them: shared
+    /// hyperparameters, per-attempt seed offsets and dropout rates.
+    fn attempt_configs(n: usize, max_epochs: usize) -> Vec<GclnConfig> {
+        (0..n)
+            .map(|attempt| GclnConfig {
+                num_clauses: 3,
+                max_epochs,
+                seed: 7u64.wrapping_add(attempt as u64 * 7919),
+                dropout_rate: (0.3 - 0.1 * attempt as f64).max(0.0),
+                ..GclnConfig::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_trainer_matches_scalar_bitwise() {
+        // Mixed data: an exact relation (y = 2x + 1) over half the
+        // samples, noise over the rest, so gates move non-trivially and
+        // losses sit near the early-stop boundary.
+        let mut rng = StdRng::seed_from_u64(11);
+        let rows: Vec<Vec<f64>> = (0..14)
+            .map(|i| {
+                let x = i as f64 - 6.0;
+                let y = if i % 2 == 0 { 2.0 * x + 1.0 } else { rng.gen_range(-8.0..8.0) };
+                let mut r = vec![1.0, x, y, x * y];
+                crate::data::normalize_row(&mut r, 10.0);
+                r
+            })
+            .collect();
+        let cols = columns_from_rows(rows);
+        let configs = attempt_configs(5, 140);
+        let scalar: Vec<TrainedGcln> =
+            configs.iter().map(|c| train_equality_gcln(&cols, c)).collect();
+        // Lane width 4 over 5 attempts exercises a full chunk AND a
+        // ragged final chunk of one; widths 1 and 8 exercise the
+        // degenerate and the all-in-one-chunk packings.
+        for lane_width in [1usize, 4, 8] {
+            let batch = train_equality_gcln_batch(&cols, &configs, lane_width);
+            assert_eq!(batch.len(), scalar.len());
+            for (a, (b, s)) in batch.iter().zip(&scalar).enumerate() {
+                assert_models_bit_identical(b, s, &format!("lanes={lane_width} attempt={a}"));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_trainer_early_stop_matches_scalar() {
+        // Cleanly learnable data with a budget past the anneal window so
+        // attempts early-stop at *different* epochs — the repacking of
+        // finished lanes out of the active prefix must not perturb the
+        // survivors.
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| {
+                let x = i as f64;
+                let mut r = vec![1.0, x, 2.0 * x + 3.0];
+                crate::data::normalize_row(&mut r, 10.0);
+                r
+            })
+            .collect();
+        let cols = columns_from_rows(rows);
+        let mut configs = attempt_configs(4, 400);
+        for c in &mut configs {
+            c.anneal_fraction = 0.25; // anneal ends at epoch 100
+        }
+        let scalar: Vec<TrainedGcln> =
+            configs.iter().map(|c| train_equality_gcln(&cols, c)).collect();
+        let batch = train_equality_gcln_batch(&cols, &configs, 4);
+        for (a, (b, s)) in batch.iter().zip(&scalar).enumerate() {
+            assert_models_bit_identical(b, s, &format!("early-stop attempt={a}"));
+        }
+    }
+
+    #[test]
+    fn batch_trainer_empty_and_single() {
+        let cols = vec![vec![1.0; 4], vec![0.5, 1.5, 2.5, 3.5]];
+        assert!(train_equality_gcln_batch(&cols, &[], 4).is_empty());
+        let cfg = GclnConfig { max_epochs: 30, ..GclnConfig::default() };
+        let one = train_equality_gcln_batch(&cols, std::slice::from_ref(&cfg), 8);
+        let solo = train_equality_gcln(&cols, &cfg);
+        assert_models_bit_identical(&one[0], &solo, "single");
+    }
+
+    #[test]
+    #[should_panic(expected = "seed and dropout_rate")]
+    fn batch_trainer_rejects_mismatched_configs() {
+        let cols = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let a = GclnConfig::default();
+        let b = GclnConfig { sigma: 0.5, ..GclnConfig::default() };
+        train_equality_gcln_batch(&cols, &[a, b], 4);
     }
 }

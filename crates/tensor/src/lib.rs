@@ -35,9 +35,12 @@
 //! assert!((params[0] - 2.0).abs() < 1e-3);
 //! ```
 
+pub mod fastmath;
 pub mod gradcheck;
+pub mod lanes;
 pub mod optim;
 pub mod tape;
 
-pub use optim::{Adam, OptimizerConfig, Sgd};
+pub use lanes::LaneKernel;
+pub use optim::{Adam, AdamLanes, OptimizerConfig, Sgd};
 pub use tape::{Tape, Var};

@@ -22,12 +22,17 @@
 //!
 //! Node values and adjoints live in two flat `f64` arenas sized once per
 //! `(graph, batch)` pair, with per-node offsets; re-evaluating the same
-//! graph epoch after epoch performs **zero heap allocation** in `forward`
-//! and a single `Vec` allocation (the returned parameter gradients) in
-//! `backward`. A liveness pre-pass over the DAG rooted at the requested
-//! output lets both passes skip dead nodes entirely, and the backward
-//! sweep tracks which adjoints have been touched instead of scanning
-//! gradient buffers for zeros.
+//! graph epoch after epoch performs **zero heap allocation** in both
+//! [`Tape::forward`] and [`Tape::backward_into`] (which writes parameter
+//! gradients into a caller-held buffer). A liveness pre-pass over the DAG
+//! rooted at the requested output lets both passes skip dead nodes
+//! entirely, and the backward sweep tracks which adjoints have been
+//! touched instead of scanning gradient buffers for zeros.
+//!
+//! All transcendentals route through [`crate::fastmath::exp64`] and all
+//! batch reductions through [`crate::fastmath::reduce_blocked4`] — the
+//! same helpers the lane-batched kernel ([`crate::lanes`]) uses — so the
+//! scalar and batched engines are bit-identical by construction.
 //!
 //! # Examples
 //!
@@ -52,6 +57,10 @@
 //! assert!(val2 < val);
 //! ```
 
+use crate::fastmath::{
+    exp64, fma64, reduce_blocked4, reduce_fma_blocked4, reduce_fma_blocked4_x4, sum_blocked,
+};
+
 /// Handle to a node in a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Var(usize);
@@ -64,7 +73,7 @@ impl Var {
 }
 
 #[derive(Clone, Debug)]
-enum Op {
+pub(crate) enum Op {
     /// External batched input column.
     Input(usize),
     /// Learnable scalar parameter.
@@ -103,6 +112,14 @@ enum Op {
     /// square → add/add → div/div → select → sub → mean chain that bound
     /// learning builds per candidate subset (paper §4.2).
     PbquLoss { z: Var, c1sq: f64, c2sq: f64 },
+    /// Fused gated t-conorm factor `1 − gate·act` (one node instead of the
+    /// mul → sub pair every G-CLN literal records). The arithmetic is the
+    /// chain's, operation for operation: `t = g·a`, then `1 − t`.
+    LitFactor { gate: Var, act: Var },
+    /// Fused gated t-norm factor `1 + gate·((1 − prod) − 1)` (one node
+    /// instead of the sub → sub → mul → add chain every G-CLN clause
+    /// records), computed in exactly the chain's operation order.
+    ClauseFactor { prod: Var, gate: Var },
 }
 
 /// A computation graph with batched reverse-mode differentiation over a
@@ -175,6 +192,20 @@ impl Tape {
         self.num_params
     }
 
+    /// Internal views for the lane-batched kernel ([`crate::lanes`]),
+    /// which compiles its own execution plan from the recorded ops.
+    pub(crate) fn ops_slice(&self) -> &[Op] {
+        &self.ops
+    }
+
+    pub(crate) fn scalar_flags(&self) -> &[bool] {
+        &self.scalar
+    }
+
+    pub(crate) fn requires_grad_flags(&self) -> &[bool] {
+        &self.requires_grad
+    }
+
     fn push(&mut self, op: Op) -> Var {
         let (scalar, requires) = match &op {
             Op::Input(_) => (false, false),
@@ -204,6 +235,14 @@ impl Tape {
                 self.requires_grad[z.0] || self.requires_grad[coeff.0],
             ),
             Op::PbquLoss { z, .. } => (true, self.requires_grad[z.0]),
+            Op::LitFactor { gate, act } => (
+                self.scalar[gate.0] && self.scalar[act.0],
+                self.requires_grad[gate.0] || self.requires_grad[act.0],
+            ),
+            Op::ClauseFactor { prod, gate } => (
+                self.scalar[prod.0] && self.scalar[gate.0],
+                self.requires_grad[prod.0] || self.requires_grad[gate.0],
+            ),
         };
         self.ops.push(op);
         self.scalar.push(scalar);
@@ -327,6 +366,19 @@ impl Tape {
         self.push(Op::PbquLoss { z, c1sq: c1 * c1, c2sq: c2 * c2 })
     }
 
+    /// Fused gated t-conorm factor `1 − gate·act` — bit-identical to the
+    /// `mul` + `sub` pair it replaces, in one node.
+    pub fn lit_factor(&mut self, gate: Var, act: Var) -> Var {
+        self.push(Op::LitFactor { gate, act })
+    }
+
+    /// Fused gated t-norm clause factor `1 + gate·((1 − prod) − 1)` —
+    /// bit-identical to the sub → sub → mul → add chain it replaces, in
+    /// one node.
+    pub fn clause_factor(&mut self, prod: Var, gate: Var) -> Var {
+        self.push(Op::ClauseFactor { prod, gate })
+    }
+
     /// (Re)computes the arena layout for `batch`, reusing existing arenas
     /// when neither the graph nor the batch size changed.
     fn ensure_plan(&mut self, batch: usize) {
@@ -394,6 +446,14 @@ impl Tape {
                     mark(coeff);
                 }
                 Op::PbquLoss { z, .. } => mark(z),
+                Op::LitFactor { gate, act } => {
+                    mark(gate);
+                    mark(act);
+                }
+                Op::ClauseFactor { prod, gate } => {
+                    mark(prod);
+                    mark(gate);
+                }
             }
         }
         self.live_root = output;
@@ -449,7 +509,7 @@ impl Tape {
                 Op::Mul(a, b) => zip_into(out, slot(a), slot(b), |x, y| x * y),
                 Op::Div(a, b) => zip_into(out, slot(a), slot(b), |x, y| x / y),
                 Op::Neg(a) => map_into(out, slot(a), |x| -x),
-                Op::Exp(a) => map_into(out, slot(a), |x| x.exp()),
+                Op::Exp(a) => map_into(out, slot(a), exp64),
                 Op::Square(a) => map_into(out, slot(a), |x| x * x),
                 Op::Recip(a) => map_into(out, slot(a), |x| 1.0 / x),
                 Op::SelectNonneg { cond, nonneg, neg } => {
@@ -459,10 +519,10 @@ impl Tape {
                     }
                 }
                 Op::Clamp01(a) => map_into(out, slot(a), |x| x.clamp(0.0, 1.0)),
-                Op::SumBatch(a) => out[0] = slot(a).iter().sum(),
+                Op::SumBatch(a) => out[0] = sum_blocked(slot(a)),
                 Op::MeanBatch(a) => {
                     let v = slot(a);
-                    out[0] = v.iter().sum::<f64>() / v.len() as f64;
+                    out[0] = sum_blocked(v) / v.len() as f64;
                 }
                 Op::Affine { weights, xs, bias } => {
                     match bias {
@@ -480,11 +540,11 @@ impl Tape {
                         if wv.len() == 1 && xv.len() == out.len() {
                             let w0 = wv[0];
                             for (o, &x) in out.iter_mut().zip(xv) {
-                                *o += w0 * x;
+                                *o = fma64(w0, x, *o);
                             }
                         } else {
                             for (j, o) in out.iter_mut().enumerate() {
-                                *o += bget(wv, j) * bget(xv, j);
+                                *o = fma64(bget(wv, j), bget(xv, j), *o);
                             }
                         }
                     }
@@ -497,28 +557,59 @@ impl Tape {
                     if cv.len() == 1 {
                         let c0 = cv[0];
                         for (o, &z) in out.iter_mut().zip(zv) {
-                            *o = (z * z * c0).exp();
+                            *o = exp64(z * z * c0);
                         }
                     } else {
                         for (j, o) in out.iter_mut().enumerate() {
                             let z = bget(zv, j);
-                            *o = (z * z * bget(cv, j)).exp();
+                            *o = exp64(z * z * bget(cv, j));
                         }
                     }
                 }
                 Op::PbquLoss { z, c1sq, c2sq } => {
                     // Per-element order mirrors the unfused
                     // square → add → div → select → sub chain, and the
-                    // mean accumulates in batch order — bit-identical to
-                    // the graph this op replaces.
+                    // mean reduces in the crate's canonical blocked order
+                    // — bit-identical to the graph this op replaces.
                     let zv = slot(z);
-                    let mut sum = 0.0;
-                    for &zj in zv {
+                    let (c1sq, c2sq) = (*c1sq, *c2sq);
+                    let sum = reduce_blocked4(zv.len(), |j| {
+                        let zj = zv[j];
                         let z2 = zj * zj;
                         let act = if zj >= 0.0 { c2sq / (z2 + c2sq) } else { c1sq / (z2 + c1sq) };
-                        sum += 1.0 - act;
-                    }
+                        1.0 - act
+                    });
                     out[0] = sum / zv.len() as f64;
+                }
+                Op::LitFactor { gate, act } => {
+                    let (gv, av) = (slot(gate), slot(act));
+                    if gv.len() == 1 {
+                        let g0 = gv[0];
+                        for (o, &a) in out.iter_mut().zip(av) {
+                            *o = 1.0 - g0 * a;
+                        }
+                    } else {
+                        for (j, o) in out.iter_mut().enumerate() {
+                            *o = 1.0 - bget(gv, j) * bget(av, j);
+                        }
+                    }
+                }
+                Op::ClauseFactor { prod, gate } => {
+                    let (pv, gv) = (slot(prod), slot(gate));
+                    // Stepwise, matching the unfused chain bit-for-bit:
+                    // or = 1 − p; om1 = or − 1; out = 1 + g·om1.
+                    if gv.len() == 1 {
+                        let g0 = gv[0];
+                        for (o, &p) in out.iter_mut().zip(pv) {
+                            let om1 = (1.0 - p) - 1.0;
+                            *o = 1.0 + g0 * om1;
+                        }
+                    } else {
+                        for (j, o) in out.iter_mut().enumerate() {
+                            let om1 = (1.0 - bget(pv, j)) - 1.0;
+                            *o = 1.0 + bget(gv, j) * om1;
+                        }
+                    }
                 }
             }
         }
@@ -529,23 +620,41 @@ impl Tape {
     /// Runs a backward pass from `output` (after [`Tape::forward`]),
     /// returning `∂output/∂paramᵢ` for every parameter.
     ///
+    /// Allocates the returned gradient vector every call; prefer
+    /// [`Tape::backward_into`] with a reused buffer on hot paths.
+    #[deprecated(note = "use backward_into with a caller-held buffer")]
+    pub fn backward(&mut self, output: Var) -> Vec<f64> {
+        let mut param_grads = vec![0.0; self.num_params];
+        self.backward_into(output, &mut param_grads);
+        param_grads
+    }
+
+    /// Runs a backward pass from `output` (after [`Tape::forward`]),
+    /// writing `∂output/∂paramᵢ` into `param_grads` — the zero-allocation
+    /// replacement for [`Tape::backward`].
+    ///
+    /// `param_grads[..num_params]` is overwritten (not accumulated into);
+    /// entries past `num_params` are left untouched, which lets a lane
+    /// kernel hand per-lane sub-slices of one flat buffer to this method.
     /// Only nodes whose adjoint was actually touched are visited (no
-    /// zero-scanning), and the only heap allocation is the returned
-    /// gradient vector.
+    /// zero-scanning) and no heap allocation occurs.
     ///
     /// # Panics
     ///
-    /// Panics if called before `forward`, or with a different output node
-    /// than the last `forward`.
-    pub fn backward(&mut self, output: Var) -> Vec<f64> {
+    /// Panics if called before `forward`, with a different output node
+    /// than the last `forward`, or with a buffer shorter than
+    /// [`Tape::num_params`].
+    pub fn backward_into(&mut self, output: Var, param_grads: &mut [f64]) {
         assert_eq!(
             self.last_forward,
             Some(output.0),
             "call forward (with the same output) before backward"
         );
-        let mut param_grads = vec![0.0; self.num_params];
+        assert!(param_grads.len() >= self.num_params, "gradient buffer too short");
+        let param_grads = &mut param_grads[..self.num_params];
+        param_grads.fill(0.0);
         if !self.requires_grad[output.0] {
-            return param_grads; // output independent of every parameter
+            return; // output independent of every parameter
         }
         // No arena-wide zeroing: a slot is *assigned* (not accumulated)
         // the first time its node is touched each pass, so stale values
@@ -639,14 +748,89 @@ impl Tape {
                     acc!(a, |_, g| g / n);
                 }
                 Op::Affine { weights, xs, bias } => {
-                    for (w, x) in weights.iter().zip(xs.iter()) {
-                        let (wv, xv) = (vslot(w), vslot(x));
-                        acc!(w, |j, g| g * bget(xv, j));
-                        acc!(x, |j, g| g * bget(wv, j));
+                    // Scalar weights over batch operands — the hot G-CLN
+                    // shape — reduce `∂w = Σ_j x_j·g_j` in the canonical
+                    // FMA order, four weights per pass over the upstream
+                    // adjoint where possible (each weight's sum is
+                    // bit-identical to its standalone reduction; only the
+                    // number of reads of `g` changes).
+                    let hot = |w: &Var, x: &Var| {
+                        requires[w.0] && lens[w.0] == 1 && len > 1 && lens[x.0] == len
+                    };
+                    // Applies one reduced weight adjoint with the same
+                    // assign-on-first-touch rule as `acc!`.
+                    macro_rules! put_w {
+                        ($w:expr, $sum:expr) => {{
+                            let w: &Var = $w;
+                            let fresh = !touched[w.0];
+                            let dst = &mut gprev[offsets[w.0]];
+                            if fresh {
+                                *dst = $sum;
+                            } else {
+                                *dst += $sum;
+                            }
+                            touched[w.0] = true;
+                        }};
+                    }
+                    let mut p = 0;
+                    while p < weights.len() {
+                        let (w, x) = (&weights[p], &xs[p]);
+                        if !hot(w, x) {
+                            let (wv, xv) = (vslot(w), vslot(x));
+                            acc!(w, |j, g| g * bget(xv, j));
+                            acc!(x, |j, g| g * bget(wv, j));
+                            p += 1;
+                            continue;
+                        }
+                        let mut q = p + 1;
+                        while q < weights.len() && q - p < 4 && hot(&weights[q], &xs[q]) {
+                            q += 1;
+                        }
+                        if q - p == 4 {
+                            let sums = reduce_fma_blocked4_x4(
+                                len,
+                                g,
+                                [
+                                    vslot(&xs[p]),
+                                    vslot(&xs[p + 1]),
+                                    vslot(&xs[p + 2]),
+                                    vslot(&xs[p + 3]),
+                                ],
+                            );
+                            for (k, &sum) in sums.iter().enumerate() {
+                                let (w, x) = (&weights[p + k], &xs[p + k]);
+                                put_w!(w, sum);
+                                let wv = vslot(w);
+                                acc!(x, |j, g| g * bget(wv, j));
+                            }
+                        } else {
+                            for k in p..q {
+                                let (w, x) = (&weights[k], &xs[k]);
+                                let xv = vslot(x);
+                                let sum = reduce_fma_blocked4(len, |j| (g[j], xv[j]));
+                                put_w!(w, sum);
+                                let wv = vslot(w);
+                                acc!(x, |j, g| g * bget(wv, j));
+                            }
+                        }
+                        p = q;
                     }
                     if let Some(b) = bias {
                         acc!(b, |_, g| g);
                     }
+                }
+                Op::LitFactor { gate, act } => {
+                    let (gv, av) = (vslot(gate), vslot(act));
+                    acc!(act, |j, g| -g * bget(gv, j));
+                    acc!(gate, |j, g| -g * bget(av, j));
+                }
+                Op::ClauseFactor { prod, gate } => {
+                    let (pv, gv) = (vslot(prod), vslot(gate));
+                    acc!(prod, |j, g| -(g * bget(gv, j)));
+                    acc!(gate, |j, g| {
+                        let om1 = (1.0 - bget(pv, j)) - 1.0;
+                        g * om1
+                    });
                 }
                 Op::Gaussian { z, coeff } => {
                     let (zv, cv) = (vslot(z), vslot(coeff));
@@ -676,7 +860,6 @@ impl Tape {
                 }
             }
         }
-        param_grads
     }
 
     /// Forward + backward in one call.
@@ -687,8 +870,23 @@ impl Tape {
         params: &[f64],
     ) -> (f64, Vec<f64>) {
         let v = self.forward(output, inputs, params);
-        let g = self.backward(output);
+        let mut g = vec![0.0; self.num_params];
+        self.backward_into(output, &mut g);
         (v, g)
+    }
+
+    /// Forward + backward writing gradients into a caller-held buffer —
+    /// the zero-allocation variant of [`Tape::eval_with_grad`].
+    pub fn eval_with_grad_into(
+        &mut self,
+        output: Var,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+        param_grads: &mut [f64],
+    ) -> f64 {
+        let v = self.forward(output, inputs, params);
+        self.backward_into(output, param_grads);
+        v
     }
 
     /// Reads the forward value of any node after [`Tape::forward`].
@@ -732,7 +930,7 @@ impl Tape {
                 Op::Mul(a, b) => zip_with(v(a), v(b), |x, y| x * y),
                 Op::Div(a, b) => zip_with(v(a), v(b), |x, y| x / y),
                 Op::Neg(a) => v(a).iter().map(|x| -x).collect(),
-                Op::Exp(a) => v(a).iter().map(|x| x.exp()).collect(),
+                Op::Exp(a) => v(a).iter().map(|&x| exp64(x)).collect(),
                 Op::Square(a) => v(a).iter().map(|x| x * x).collect(),
                 Op::Recip(a) => v(a).iter().map(|x| 1.0 / x).collect(),
                 Op::SelectNonneg { cond, nonneg, neg } => {
@@ -743,8 +941,8 @@ impl Tape {
                         .collect()
                 }
                 Op::Clamp01(a) => v(a).iter().map(|x| x.clamp(0.0, 1.0)).collect(),
-                Op::SumBatch(a) => vec![v(a).iter().sum()],
-                Op::MeanBatch(a) => vec![v(a).iter().sum::<f64>() / v(a).len() as f64],
+                Op::SumBatch(a) => vec![sum_blocked(v(a))],
+                Op::MeanBatch(a) => vec![sum_blocked(v(a)) / v(a).len() as f64],
                 Op::Affine { weights, xs, bias } => {
                     let len = weights
                         .iter()
@@ -757,7 +955,7 @@ impl Tape {
                         .map(|j| {
                             let mut acc = bias.as_ref().map_or(0.0, |b| bget(&values[b.0], j));
                             for (w, x) in weights.iter().zip(xs.iter()) {
-                                acc += bget(&values[w.0], j) * bget(&values[x.0], j);
+                                acc = fma64(bget(&values[w.0], j), bget(&values[x.0], j), acc);
                             }
                             acc
                         })
@@ -769,25 +967,35 @@ impl Tape {
                     (0..len)
                         .map(|j| {
                             let z = bget(zv, j);
-                            (z * z * bget(cv, j)).exp()
+                            exp64(z * z * bget(cv, j))
                         })
                         .collect()
                 }
                 Op::PbquLoss { z, c1sq, c2sq } => {
                     let zv = v(z);
-                    let sum: f64 = zv
-                        .iter()
-                        .map(|&zj| {
-                            let z2 = zj * zj;
-                            let act = if zj >= 0.0 {
-                                c2sq / (z2 + c2sq)
-                            } else {
-                                c1sq / (z2 + c1sq)
-                            };
-                            1.0 - act
-                        })
-                        .sum();
+                    let sum = reduce_blocked4(zv.len(), |j| {
+                        let zj = zv[j];
+                        let z2 = zj * zj;
+                        let act =
+                            if zj >= 0.0 { c2sq / (z2 + c2sq) } else { c1sq / (z2 + c1sq) };
+                        1.0 - act
+                    });
                     vec![sum / zv.len() as f64]
+                }
+                Op::LitFactor { gate, act } => {
+                    let (gv, av) = (v(gate), v(act));
+                    let len = gv.len().max(av.len());
+                    (0..len).map(|j| 1.0 - bget(gv, j) * bget(av, j)).collect()
+                }
+                Op::ClauseFactor { prod, gate } => {
+                    let (pv, gv) = (v(prod), v(gate));
+                    let len = pv.len().max(gv.len());
+                    (0..len)
+                        .map(|j| {
+                            let om1 = (1.0 - bget(pv, j)) - 1.0;
+                            1.0 + bget(gv, j) * om1
+                        })
+                        .collect()
                 }
             };
             values.push(value);
@@ -814,7 +1022,7 @@ impl Tape {
                         grads[t.0][j] += f(j, g);
                     }
                 } else if tlen == 1 {
-                    grads[t.0][0] += grad.iter().enumerate().map(|(j, &g)| f(j, g)).sum::<f64>();
+                    grads[t.0][0] += reduce_blocked4(grad.len(), |j| f(j, grad[j]));
                 } else {
                     for (j, d) in grads[t.0].iter_mut().enumerate() {
                         *d += f(j, grad[0]);
@@ -876,6 +1084,12 @@ impl Tape {
                     acc(a, &|_, g| g / n);
                 }
                 Op::Affine { weights, xs, bias } => {
+                    // NOTE: the arena engine reduces scalar-weight adjoints
+                    // with `reduce_fma_blocked4`; this oracle keeps the
+                    // plain product form. The ≤1-ulp-per-step difference is
+                    // far inside the property tests' 1e-12 tolerance (the
+                    // *bitwise* contract is arena ↔ lane kernel, not the
+                    // oracle).
                     for (w, x) in weights.iter().zip(xs.iter()) {
                         let (wv, xv) = (values[w.0].clone(), values[x.0].clone());
                         acc(w, &|j, g| g * bget(&xv, j));
@@ -884,6 +1098,19 @@ impl Tape {
                     if let Some(b) = bias {
                         acc(b, &|_, g| g);
                     }
+                }
+                Op::LitFactor { gate, act } => {
+                    let (gv, av) = (values[gate.0].clone(), values[act.0].clone());
+                    acc(act, &|j, g| -g * bget(&gv, j));
+                    acc(gate, &|j, g| -g * bget(&av, j));
+                }
+                Op::ClauseFactor { prod, gate } => {
+                    let (pv, gv) = (values[prod.0].clone(), values[gate.0].clone());
+                    acc(prod, &|j, g| -(g * bget(&gv, j)));
+                    acc(gate, &|j, g| {
+                        let om1 = (1.0 - bget(&pv, j)) - 1.0;
+                        g * om1
+                    });
                 }
                 Op::Gaussian { z, coeff } => {
                     let (zv, cv) = (values[z.0].clone(), values[coeff.0].clone());
@@ -927,7 +1154,7 @@ fn slice_at<'a>(arena: &'a [f64], offsets: &[usize], lens: &[usize], v: Var) -> 
 /// into the slot this pass: it assigns instead of accumulating, which is
 /// what lets `backward` skip zeroing the whole arena.
 #[inline]
-fn accum_into(
+pub(crate) fn accum_into(
     grads_prefix: &mut [f64],
     off: usize,
     tlen: usize,
@@ -937,18 +1164,23 @@ fn accum_into(
 ) {
     let dst = &mut grads_prefix[off..off + tlen];
     if tlen == upstream.len() {
-        for (j, (d, &g)) in dst.iter_mut().zip(upstream).enumerate() {
-            if fresh {
+        // `fresh` hoisted out of the loop so both bodies stay branch-free
+        // and autovectorize.
+        if fresh {
+            for (j, (d, &g)) in dst.iter_mut().zip(upstream).enumerate() {
                 *d = f(j, g);
-            } else {
+            }
+        } else {
+            for (j, (d, &g)) in dst.iter_mut().zip(upstream).enumerate() {
                 *d += f(j, g);
             }
         }
     } else if tlen == 1 {
-        let mut acc = 0.0;
-        for (j, &g) in upstream.iter().enumerate() {
-            acc += f(j, g);
-        }
+        // Batch gradient reducing into a broadcast scalar (e.g. affine
+        // weight adjoints): the crate's canonical blocked order, which
+        // breaks the FP-add latency chain that otherwise dominates
+        // backward on wide batches.
+        let acc = reduce_blocked4(upstream.len(), |j| f(j, upstream[j]));
         if fresh {
             dst[0] = acc;
         } else {
@@ -957,10 +1189,12 @@ fn accum_into(
     } else if upstream.len() == 1 {
         // Scalar gradient flowing into a batch node (after a reduce).
         let g0 = upstream[0];
-        for (j, d) in dst.iter_mut().enumerate() {
-            if fresh {
+        if fresh {
+            for (j, d) in dst.iter_mut().enumerate() {
                 *d = f(j, g0);
-            } else {
+            }
+        } else {
+            for (j, d) in dst.iter_mut().enumerate() {
                 *d += f(j, g0);
             }
         }
@@ -969,7 +1203,7 @@ fn accum_into(
     }
 }
 
-fn bget(v: &[f64], j: usize) -> f64 {
+pub(crate) fn bget(v: &[f64], j: usize) -> f64 {
     if v.len() == 1 {
         v[0]
     } else {
@@ -977,13 +1211,13 @@ fn bget(v: &[f64], j: usize) -> f64 {
     }
 }
 
-fn map_into(out: &mut [f64], a: &[f64], f: impl Fn(f64) -> f64) {
+pub(crate) fn map_into(out: &mut [f64], a: &[f64], f: impl Fn(f64) -> f64) {
     for (o, &x) in out.iter_mut().zip(a) {
         *o = f(x);
     }
 }
 
-fn zip_into(out: &mut [f64], a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) {
+pub(crate) fn zip_into(out: &mut [f64], a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) {
     match (a.len(), b.len()) {
         (1, 1) => out[0] = f(a[0], b[0]),
         (1, _) => {

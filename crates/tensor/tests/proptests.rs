@@ -2,6 +2,7 @@
 //! randomly generated computation graphs.
 
 use gcln_tensor::gradcheck::check_gradients;
+use gcln_tensor::lanes::LaneKernel;
 use gcln_tensor::optim::project_unit_l2;
 use gcln_tensor::tape::{Tape, Var};
 use proptest::prelude::*;
@@ -20,6 +21,10 @@ enum Step {
     Affine(usize, usize, bool),
     /// Fused `exp(−z²·k)` with a fixed small positive curvature.
     Gaussian(usize),
+    /// Fused literal factor `1 − gate·act`.
+    LitFactor(usize, usize),
+    /// Fused clause factor `1 + gate·((1 − prod) − 1)`.
+    ClauseFactor(usize, usize),
 }
 
 fn steps(n: usize) -> impl Strategy<Value = Vec<Step>> {
@@ -33,6 +38,8 @@ fn steps(n: usize) -> impl Strategy<Value = Vec<Step>> {
             (0..n, 0..n).prop_map(|(a, b)| Step::DivSafe(a, b)),
             (0..n, 0..n, proptest::bool::ANY).prop_map(|(a, b, bias)| Step::Affine(a, b, bias)),
             (0..n).prop_map(Step::Gaussian),
+            (0..n, 0..n).prop_map(|(a, b)| Step::LitFactor(a, b)),
+            (0..n, 0..n).prop_map(|(a, b)| Step::ClauseFactor(a, b)),
         ],
         1..8,
     )
@@ -91,6 +98,14 @@ fn build(tape: &mut Tape, ops: &[Step]) -> Var {
                 let z = pick(a);
                 let coeff = tape.constant(-0.35);
                 tape.gaussian(z, coeff)
+            }
+            Step::LitFactor(a, b) => {
+                let (g, act) = (pick(a), pick(b));
+                tape.lit_factor(g, act)
+            }
+            Step::ClauseFactor(a, b) => {
+                let (p, g) = (pick(a), pick(b));
+                tape.clause_factor(p, g)
             }
         };
         nodes.push(v);
@@ -169,6 +184,45 @@ proptest! {
             prop_assert!((v_fast - v_ref).abs() <= 1e-12 * v_ref.abs().max(1.0));
             for (a, b) in g_fast.iter().zip(&g_ref) {
                 prop_assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+            }
+        }
+    }
+
+    /// The lane kernel is **bitwise** identical to the scalar arena on
+    /// arbitrary graphs (including fused and broadcast nodes), at any
+    /// lane width, for any ragged active-lane count, and for any batch
+    /// size — the contract that makes `train_chunk_size` a pure
+    /// throughput knob.
+    #[test]
+    fn lane_kernel_is_bitwise_identical_to_scalar(
+        ops in steps(16),
+        lanes in 1usize..6,
+        active_seed in 0usize..64,
+        params in proptest::collection::vec(-1.5f64..1.5, 12),
+        xs in proptest::collection::vec(-2.0f64..2.0, 1..6),
+    ) {
+        let mut tape = Tape::new();
+        let out = build(&mut tape, &ops);
+        let np = 2;
+        let active = active_seed % lanes + 1;
+        let mut kernel = LaneKernel::compile(&tape, out, lanes);
+        kernel.bind_inputs(std::slice::from_ref(&xs));
+        let vals = kernel.forward_active(&params[..lanes * np], active).to_vec();
+        let mut grads = vec![f64::NAN; active * np];
+        kernel.backward_active(&mut grads, active);
+        for l in 0..active {
+            let p = &params[l * np..(l + 1) * np];
+            let (v, g) = tape.eval_with_grad(out, std::slice::from_ref(&xs), p);
+            prop_assume!(v.is_finite());
+            prop_assert_eq!(
+                v.to_bits(), vals[l].to_bits(),
+                "value lane {}/{}: scalar {} vs kernel {}", l, lanes, v, vals[l]
+            );
+            for (a, b) in grads[l * np..(l + 1) * np].iter().zip(&g) {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "grad lane {}/{}: kernel {} vs scalar {}", l, lanes, a, b
+                );
             }
         }
     }

@@ -19,7 +19,7 @@ workdir="$(mktemp -d)"
 log="$workdir/serve.log"
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
-"$bin" serve --port 0 --workers 1 --queue-cap 4 --journal "$workdir/jobs.jsonl" >"$log" 2>&1 &
+"$bin" serve --port 0 --workers 1 --queue-cap 4 --train-chunk 2 --journal "$workdir/jobs.jsonl" >"$log" 2>&1 &
 pid=$!
 
 # Wait for the listening line and scrape the ephemeral port.
@@ -80,6 +80,7 @@ print("serve smoke: invariant", job["invariants"][0]["formula"])
 
 status, stats = call("GET", "/stats")
 assert status == 200 and stats["jobs"]["done"] >= 1, stats
+assert stats["train_chunk_size"] == 2, stats
 print("serve smoke: stats", json.dumps(stats["jobs"]))
 
 # Prometheus exposition: scheduler stage histograms and cache series.
@@ -99,6 +100,7 @@ for needle in (
     "gcln_sched_jobs_quarantined_total",
     "gcln_serve_journal_skipped_lines_total",
     "gcln_serve_journal_resubmitted_total",
+    "gcln_sched_train_chunk_size 2",
 ):
     assert needle in metrics, f"missing metrics series: {needle}"
 # A fault-free run reports zero fault-tolerance activity.
